@@ -1,0 +1,226 @@
+package bluefi
+
+import (
+	"fmt"
+
+	"sort"
+
+	"bluefi/internal/a2dp"
+	"bluefi/internal/bt"
+	"bluefi/internal/core"
+	"bluefi/internal/sbc"
+)
+
+// Audio streaming (paper §4.7): SBC-encode PCM, wrap it in AVDTP/L2CAP,
+// schedule baseband packets along the AFH-restricted hop sequence inside
+// the WiFi channel, and synthesize each one as a WiFi frame stamped with
+// its slot clock.
+
+// AudioConfig parameterizes an audio stream.
+type AudioConfig struct {
+	// Device provides the link's access code and CRC context.
+	Device Device
+	// PacketType carries the media; DM types add the baseband 2/3 FEC
+	// (default DM5, the paper's 5-slot shape).
+	PacketType PacketType
+	// BestChannels restricts audio to the N best-planned Bluetooth
+	// channels in the WiFi channel (default 3, as in the paper).
+	BestChannels int
+	// SBC selects the codec configuration (default: 44.1 kHz stereo,
+	// 8 subbands, 16 blocks, bitpool 35).
+	SBC SBCConfig
+	// FramesPerPacket overrides how many SBC frames ride in one media
+	// packet (0 = fill the baseband payload). Small values shorten the
+	// on-air packets — the §4.7 PER/throughput trade-off.
+	FramesPerPacket int
+}
+
+// SBCConfig mirrors the SBC codec parameters.
+type SBCConfig struct {
+	SampleRateHz int // 16000, 32000, 44100 or 48000
+	Blocks       int // 4, 8, 12 or 16
+	Stereo       bool
+	Subbands     int // 4 or 8
+	Bitpool      int // 2..250
+}
+
+func (c SBCConfig) inner() (sbc.Config, error) {
+	out := sbc.Config{Blocks: c.Blocks, Subbands: c.Subbands, Bitpool: c.Bitpool, Alloc: sbc.Loudness}
+	switch c.SampleRateHz {
+	case 16000:
+		out.Freq = sbc.Freq16k
+	case 32000:
+		out.Freq = sbc.Freq32k
+	case 44100:
+		out.Freq = sbc.Freq44k
+	case 48000:
+		out.Freq = sbc.Freq48k
+	default:
+		return out, fmt.Errorf("bluefi: unsupported sample rate %d", c.SampleRateHz)
+	}
+	if c.Stereo {
+		out.Mode = sbc.Stereo
+	} else {
+		out.Mode = sbc.Mono
+	}
+	return out, out.Validate()
+}
+
+// AudioStream is a live A2DP session over BlueFi.
+type AudioStream struct {
+	syn    *Synthesizer
+	sched  *a2dp.Scheduler
+	enc    *sbc.Encoder
+	sbcCfg sbc.Config
+	dev    Device
+	frames int // SBC frames per media packet
+}
+
+// AudioTransmission is one baseband packet of the stream, synthesized
+// and ready for its time slot.
+type AudioTransmission struct {
+	Packet *Packet
+	// Clock is the Bluetooth clock of the packet's slot; release the
+	// frame at exactly that instant (the paper uses a high-resolution
+	// kernel timer for this).
+	Clock uint32
+	// BTChannel is the AFH-mapped Bluetooth channel of the slot.
+	BTChannel int
+}
+
+// NewAudioStream opens a stream on the synthesizer's WiFi channel.
+func (s *Synthesizer) NewAudioStream(cfg AudioConfig) (*AudioStream, error) {
+	if cfg.PacketType == 0 {
+		cfg.PacketType = DM5
+	}
+	if cfg.BestChannels == 0 {
+		cfg.BestChannels = 3
+	}
+	if cfg.SBC == (SBCConfig{}) {
+		cfg.SBC = SBCConfig{SampleRateHz: 44100, Blocks: 16, Stereo: true, Subbands: 8, Bitpool: 35}
+	}
+	pt, err := cfg.PacketType.inner()
+	if err != nil {
+		return nil, err
+	}
+	sbcCfg, err := cfg.SBC.inner()
+	if err != nil {
+		return nil, err
+	}
+	center := 2407 + 5*float64(s.opts.WiFiChannel)
+	best, err := bestChannels(s.opts.WiFiChannel, center, cfg.BestChannels)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := a2dp.NewScheduler(a2dp.StreamConfig{
+		Device:        bt.Device(cfg.Device),
+		WiFiCenterMHz: center,
+		PacketType:    pt,
+		BestChannels:  best,
+	})
+	if err != nil {
+		return nil, err
+	}
+	enc, err := sbc.NewEncoder(sbcCfg)
+	if err != nil {
+		return nil, err
+	}
+	frames := cfg.FramesPerPacket
+	if frames <= 0 {
+		frames = a2dp.FramesPerPacket(pt, sbcCfg)
+	}
+	if frames < 1 {
+		frames = 1 // L2CAP segmentation spreads it over several packets
+	}
+	return &AudioStream{syn: s, sched: sched, enc: enc, sbcCfg: sbcCfg, dev: cfg.Device, frames: frames}, nil
+}
+
+// SamplesPerSend returns the PCM samples per channel one Send consumes.
+func (a *AudioStream) SamplesPerSend() int { return a.frames * a.sbcCfg.SamplesPerFrame() }
+
+// Channels returns the PCM channel count the stream expects.
+func (a *AudioStream) Channels() int { return a.sbcCfg.Mode.Channels() }
+
+// Send encodes one media packet's worth of PCM (pcm[channel][sample],
+// exactly SamplesPerSend() samples per channel) and returns the
+// synthesized baseband transmissions — one per L2CAP segment.
+func (a *AudioStream) Send(pcm [][]float64) ([]*AudioTransmission, error) {
+	if len(pcm) != a.Channels() {
+		return nil, fmt.Errorf("bluefi: %d PCM channels, want %d", len(pcm), a.Channels())
+	}
+	spf := a.sbcCfg.SamplesPerFrame()
+	frames := make([][]byte, a.frames)
+	for f := range frames {
+		in := make([][]float64, len(pcm))
+		for ch := range pcm {
+			if len(pcm[ch]) != a.SamplesPerSend() {
+				return nil, fmt.Errorf("bluefi: channel %d has %d samples, want %d", ch, len(pcm[ch]), a.SamplesPerSend())
+			}
+			in[ch] = pcm[ch][f*spf : (f+1)*spf]
+		}
+		fr, err := a.enc.Encode(in)
+		if err != nil {
+			return nil, err
+		}
+		frames[f] = fr
+	}
+	scheduled, err := a.sched.ScheduleMedia(frames, uint32(a.SamplesPerSend()))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*AudioTransmission, 0, len(scheduled))
+	for _, sp := range scheduled {
+		// Rehearsal-gated transmission: when synthesis predicts more bit
+		// errors than the packet's FEC can absorb, move to the next slot
+		// — its clock re-whitens the payload into a fresh waveform.
+		var res *core.Result
+		for attempt := 0; ; attempt++ {
+			air, err := sp.Packet.AirBits(bt.Device(a.dev))
+			if err != nil {
+				return nil, err
+			}
+			res, err = a.syn.br.Synthesize(air, sp.ChannelMHz)
+			if err != nil {
+				return nil, err
+			}
+			if res.RehearsalMismatches <= 4 || attempt >= 3 {
+				break
+			}
+			sp = a.sched.Reslot(sp)
+		}
+		pkt, err := a.syn.wrap(res, -1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &AudioTransmission{Packet: pkt, Clock: uint32(sp.Clock), BTChannel: sp.Channel})
+	}
+	return out, nil
+}
+
+// bestChannels scores the Bluetooth channels inside the WiFi channel by
+// pilot/null clearance and returns the top n (paper §4.7: "we select 3
+// best channels to transmit audio packets").
+func bestChannels(wifiCh int, centerMHz float64, n int) ([]int, error) {
+	type scored struct {
+		ch    int
+		score float64
+	}
+	var all []scored
+	for _, btCh := range bt.ChannelsInWiFiBand(centerMHz, 0.7) {
+		plan, err := core.PlanForChannel(bt.ChannelMHz(btCh), wifiCh)
+		if err != nil {
+			continue
+		}
+		all = append(all, scored{btCh, plan.Score})
+	}
+	if len(all) < n {
+		return nil, fmt.Errorf("bluefi: only %d usable audio channels in WiFi channel %d", len(all), wifiCh)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
+	out := make([]int, n)
+	for i := range out {
+		out[i] = all[i].ch
+	}
+	sort.Ints(out)
+	return out, nil
+}

@@ -1,0 +1,401 @@
+// Package bluefi transmits Bluetooth packets with commodity 802.11n WiFi
+// hardware — a reproduction of "BlueFi: Bluetooth over WiFi" (Cho & Shin,
+// SIGCOMM 2021).
+//
+// The library converts a Bluetooth packet (a BLE advertisement, a classic
+// BR/EDR baseband packet, or raw GFSK air bits) into an 802.11n PSDU byte
+// string. When an unmodified WiFi chip transmits that PSDU, the resulting
+// waveform is decodable by unmodified Bluetooth receivers. The conversion
+// reverses every block of the WiFi transmit chain: cyclic-prefix insertion
+// and OFDM windowing, QAM quantization, pilot/null subcarriers, the
+// convolutional FEC, and the scrambler.
+//
+// Quick start:
+//
+//	syn, err := bluefi.New(bluefi.Options{Chip: bluefi.RTL8811AU})
+//	pkt, err := syn.Beacon(bluefi.IBeacon{...}.ADStructures(), addr, 38)
+//	// hand pkt.PSDU to the WiFi driver; or simulate reception:
+//	rep, err := bluefi.Simulate(pkt, bluefi.SimulationParams{DistanceM: 1.5})
+//
+// Everything runs on a pure-Go simulated substrate — WiFi PHY, Bluetooth
+// baseband, radio channel, GFSK receivers — so the paper's experiments
+// reproduce without hardware (see DESIGN.md and EXPERIMENTS.md).
+package bluefi
+
+import (
+	"fmt"
+
+	"bluefi/internal/beacon"
+	"bluefi/internal/bt"
+	"bluefi/internal/btrx"
+	"bluefi/internal/channel"
+	"bluefi/internal/chip"
+	"bluefi/internal/core"
+	"bluefi/internal/gfsk"
+)
+
+// Mode selects the FEC-inversion strategy (paper §2.7).
+type Mode int
+
+// Synthesis modes.
+const (
+	// Quality runs the weighted Viterbi search (rate 5/6) — best fidelity,
+	// tens of milliseconds per packet.
+	Quality Mode = iota
+	// RealTime runs the O(T) exact-match inverter (rate 2/3) — fits the
+	// 1.25 ms Bluetooth slot-pair budget, as the audio application needs.
+	RealTime
+)
+
+// ChipModel selects the simulated WiFi chip whose quirks (scrambler-seed
+// policy, frame limits, transmit power) the synthesis must match.
+type ChipModel int
+
+// Supported chips — the paper's two evaluation devices plus a generic
+// 802.11n part with an incrementing scrambler seed.
+const (
+	AR9331 ChipModel = iota
+	RTL8811AU
+	Generic80211n
+)
+
+func (c ChipModel) model() (chip.Model, error) {
+	switch c {
+	case AR9331:
+		return chip.AR9331, nil
+	case RTL8811AU:
+		return chip.RTL8811AU, nil
+	case Generic80211n:
+		return chip.Generic80211n, nil
+	}
+	return chip.Model{}, fmt.Errorf("bluefi: unknown chip model %d", int(c))
+}
+
+// Options configures a Synthesizer. The zero value is usable: quality
+// mode on WiFi channel 3 with the AR9331 chip model.
+type Options struct {
+	// Chip selects the target WiFi chip.
+	Chip ChipModel
+	// WiFiChannel pins the 2.4 GHz channel (default 3). The Bluetooth
+	// frequency must fall inside it; Plan lists what each channel covers.
+	WiFiChannel int
+	// Mode selects Quality (default) or RealTime synthesis.
+	Mode Mode
+}
+
+// Synthesizer converts Bluetooth packets to WiFi PSDUs for one chip and
+// channel. Not safe for concurrent use; create one per goroutine.
+type Synthesizer struct {
+	opts    Options
+	chip    *chip.Chip
+	quality *core.Synthesizer // BLE path (LE 1M GFSK)
+	br      *core.Synthesizer // BR path (basic-rate GFSK)
+}
+
+// New builds a Synthesizer.
+func New(opts Options) (*Synthesizer, error) {
+	if opts.WiFiChannel == 0 {
+		opts.WiFiChannel = 3
+	}
+	m, err := ChipModel(opts.Chip).model()
+	if err != nil {
+		return nil, err
+	}
+	c := chip.New(m)
+	mk := func(g gfsk.Config) (*core.Synthesizer, error) {
+		o := core.DefaultOptions()
+		o.Mode = core.Mode(opts.Mode)
+		o.WiFiChannel = opts.WiFiChannel
+		o.ScramblerSeed = c.NextSeed()
+		o.GFSK = g
+		return core.New(o)
+	}
+	q, err := mk(gfsk.BLEConfig())
+	if err != nil {
+		return nil, err
+	}
+	b, err := mk(gfsk.BRConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Synthesizer{opts: opts, chip: c, quality: q, br: b}, nil
+}
+
+// Packet is a synthesized WiFi frame carrying a Bluetooth transmission.
+type Packet struct {
+	// PSDU is the byte string to hand to the WiFi driver (with the MCS
+	// below, short guard interval, scrambler seed per the chip model).
+	PSDU []byte
+	// MCS is the modulation-and-coding scheme the frame must use (7 in
+	// quality mode, 5 in real-time mode).
+	MCS int
+	// WiFiChannel and FrequencyMHz record the frequency plan.
+	WiFiChannel  int
+	FrequencyMHz float64
+	// AirtimeSeconds is the frame's on-air duration.
+	AirtimeSeconds float64
+	// Fidelity reports the in-band phase RMSE of the predicted waveform
+	// against the ideal Bluetooth waveform, in radians (lower is better;
+	// ≲0.3 decodes reliably on strong links).
+	Fidelity float64
+	// BLEChannel is set for advertising packets (37–39), −1 otherwise.
+	BLEChannel int
+
+	res *core.Result
+}
+
+func (s *Synthesizer) wrap(res *core.Result, bleChannel int) (*Packet, error) {
+	at, err := s.chip.Airtime(len(res.PSDU), s.mcs())
+	if err != nil {
+		return nil, err
+	}
+	return &Packet{
+		PSDU:           res.PSDU,
+		MCS:            s.mcs(),
+		WiFiChannel:    res.Plan.WiFiChannel,
+		FrequencyMHz:   res.Plan.WiFiCenterMHz + res.Plan.OffsetHz/1e6,
+		AirtimeSeconds: at,
+		Fidelity:       res.PhaseRMSE,
+		BLEChannel:     bleChannel,
+		res:            res,
+	}, nil
+}
+
+func (s *Synthesizer) mcs() int { return core.Mode(s.opts.Mode).MCS() }
+
+// Beacon synthesizes a BLE advertising packet (up to 31 bytes of AD
+// structures) on advertising channel 37, 38 or 39. Only channels covered
+// by the configured WiFi channel work; channel 38 (2426 MHz) pairs with
+// WiFi channel 3 as in the paper.
+func (s *Synthesizer) Beacon(adStructures []byte, addr [6]byte, bleChannel int) (*Packet, error) {
+	adv, err := beacon.Advertisement(addr, adStructures)
+	if err != nil {
+		return nil, err
+	}
+	air, err := adv.AirBits(bleChannel)
+	if err != nil {
+		return nil, err
+	}
+	freq, err := bt.BLEChannelMHz(bleChannel)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.quality.Synthesize(air, freq)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrap(res, bleChannel)
+}
+
+// BRPacket synthesizes a classic BR/EDR baseband packet on a Bluetooth
+// channel index (0–78). The device supplies the access code and CRC
+// context; the packet's Clock field must hold the transmission slot's
+// clock (it whitens the payload).
+func (s *Synthesizer) BRPacket(dev Device, pkt *BasebandPacket, btChannel int) (*Packet, error) {
+	if btChannel < 0 || btChannel >= bt.NumChannels {
+		return nil, fmt.Errorf("bluefi: Bluetooth channel %d out of range", btChannel)
+	}
+	pt, err := pkt.Type.inner()
+	if err != nil {
+		return nil, err
+	}
+	inner := &bt.Packet{
+		Type:    pt,
+		LTAddr:  pkt.LTAddr,
+		Flow:    pkt.Flow,
+		ARQN:    pkt.ARQN,
+		SEQN:    pkt.SEQN,
+		Payload: pkt.Payload,
+		Clock:   pkt.Clock,
+		LLID:    pkt.LLID,
+	}
+	air, err := inner.AirBits(bt.Device(dev))
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.br.Synthesize(air, bt.ChannelMHz(btChannel))
+	if err != nil {
+		return nil, err
+	}
+	return s.wrap(res, -1)
+}
+
+// RawGFSK synthesizes arbitrary Bluetooth air bits (1 Mb/s GFSK) at a
+// carrier frequency in MHz. ble selects LE 1M deviation (±250 kHz) over
+// basic-rate (±160 kHz).
+func (s *Synthesizer) RawGFSK(airBits []byte, freqMHz float64, ble bool) (*Packet, error) {
+	syn := s.br
+	if ble {
+		syn = s.quality
+	}
+	res, err := syn.Synthesize(airBits, freqMHz)
+	if err != nil {
+		return nil, err
+	}
+	return s.wrap(res, -1)
+}
+
+// Device mirrors the Bluetooth addressing context (LAP for the access
+// code, UAP for HEC/CRC seeding).
+type Device struct {
+	LAP uint32
+	UAP byte
+}
+
+// PacketType enumerates BR/EDR ACL baseband packet types. The zero value
+// is invalid so option structs can detect "not set".
+type PacketType int
+
+// Baseband packet types: DM variants carry the 2/3-rate FEC.
+const (
+	DM1 = PacketType(bt.DM1) + 1
+	DH1 = PacketType(bt.DH1) + 1
+	DM3 = PacketType(bt.DM3) + 1
+	DH3 = PacketType(bt.DH3) + 1
+	DM5 = PacketType(bt.DM5) + 1
+	DH5 = PacketType(bt.DH5) + 1
+)
+
+// inner converts to the baseband type, validating the value.
+func (p PacketType) inner() (bt.PacketType, error) {
+	if p < DM1 || p > DH5 {
+		return 0, fmt.Errorf("bluefi: invalid packet type %d", int(p))
+	}
+	return bt.PacketType(p - 1), nil
+}
+
+// BasebandPacket describes one BR/EDR packet to synthesize.
+type BasebandPacket struct {
+	Type    PacketType
+	LTAddr  byte
+	Flow    byte
+	ARQN    byte
+	SEQN    byte
+	LLID    byte
+	Payload []byte
+	Clock   uint32
+}
+
+// IBeacon re-exports the iBeacon payload builder.
+type IBeacon = beacon.IBeacon
+
+// EddystoneUID re-exports the Eddystone-UID payload builder.
+type EddystoneUID = beacon.EddystoneUID
+
+// EddystoneURL re-exports the Eddystone-URL payload builder.
+type EddystoneURL = beacon.EddystoneURL
+
+// AltBeacon re-exports the AltBeacon payload builder.
+type AltBeacon = beacon.AltBeacon
+
+// ChannelPlan scores a WiFi channel as a carrier for a Bluetooth
+// frequency (paper §2.6).
+type ChannelPlan = core.ChannelPlan
+
+// Plan lists the WiFi channels able to carry a Bluetooth frequency,
+// best (farthest from pilots and nulls) first.
+func Plan(btMHz float64) []ChannelPlan { return core.PlanChannels(btMHz) }
+
+// SimulationParams describes the simulated radio link for Simulate.
+type SimulationParams struct {
+	// TxPowerDBm defaults to the chip's stock power when zero.
+	TxPowerDBm float64
+	// DistanceM defaults to 1.5 m when zero.
+	DistanceM float64
+	// Receiver names a device profile: "Pixel" (default), "S6",
+	// "iPhone" or "FTS4BT".
+	Receiver string
+	// Seed makes the channel noise reproducible.
+	Seed int64
+}
+
+// SimReport is the outcome of a simulated reception.
+type SimReport struct {
+	Detected bool
+	Decoded  bool
+	RSSIdBm  float64
+}
+
+// Simulate transmits a synthesized packet through the simulated radio
+// channel into a simulated unmodified Bluetooth receiver — the library's
+// stand-in for the paper's over-the-air tests.
+func (s *Synthesizer) Simulate(pkt *Packet, params SimulationParams) (SimReport, error) {
+	if params.TxPowerDBm == 0 {
+		params.TxPowerDBm = s.chip.Model().DefaultTxPowerDBm
+	}
+	if params.DistanceM == 0 {
+		params.DistanceM = 1.5
+	}
+	prof := btrx.Pixel
+	switch params.Receiver {
+	case "", "Pixel":
+	case "S6":
+		prof = btrx.S6
+	case "iPhone":
+		prof = btrx.IPhone
+	case "FTS4BT":
+		prof = btrx.Sniffer
+	default:
+		return SimReport{}, fmt.Errorf("bluefi: unknown receiver profile %q", params.Receiver)
+	}
+	ch := channel.Default(params.TxPowerDBm, params.DistanceM)
+	if params.Seed != 0 {
+		ch.Seed = params.Seed
+	}
+	rx, err := ch.Apply(pkt.res.Waveform)
+	if err != nil {
+		return SimReport{}, err
+	}
+	rcv, err := btrx.NewReceiver(prof, pkt.res.Plan.OffsetHz, bt.Device{})
+	if err != nil {
+		return SimReport{}, err
+	}
+	if pkt.BLEChannel < 0 {
+		return SimReport{}, fmt.Errorf("bluefi: Simulate currently supports BLE packets; use SimulateBR for BR/EDR")
+	}
+	rep, err := rcv.ReceiveBLE(rx, pkt.BLEChannel)
+	if err != nil {
+		return SimReport{}, err
+	}
+	return SimReport{Detected: rep.Detected, Decoded: rep.Detected && rep.Result.OK, RSSIdBm: rep.RSSIdBm}, nil
+}
+
+// SimulateBR mirrors Simulate for classic BR/EDR packets; dev and clk
+// must match the synthesized packet.
+func (s *Synthesizer) SimulateBR(pkt *Packet, dev Device, clk uint32, params SimulationParams) (SimReport, error) {
+	if params.TxPowerDBm == 0 {
+		params.TxPowerDBm = s.chip.Model().DefaultTxPowerDBm
+	}
+	if params.DistanceM == 0 {
+		params.DistanceM = 1.5
+	}
+	prof := btrx.Sniffer
+	switch params.Receiver {
+	case "", "FTS4BT":
+	case "Pixel":
+		prof = btrx.Pixel
+	case "S6":
+		prof = btrx.S6
+	case "iPhone":
+		prof = btrx.IPhone
+	default:
+		return SimReport{}, fmt.Errorf("bluefi: unknown receiver profile %q", params.Receiver)
+	}
+	ch := channel.Default(params.TxPowerDBm, params.DistanceM)
+	if params.Seed != 0 {
+		ch.Seed = params.Seed
+	}
+	rx, err := ch.Apply(pkt.res.Waveform)
+	if err != nil {
+		return SimReport{}, err
+	}
+	rcv, err := btrx.NewReceiver(prof, pkt.res.Plan.OffsetHz, bt.Device(dev))
+	if err != nil {
+		return SimReport{}, err
+	}
+	rep, err := rcv.ReceiveBR(rx, clk)
+	if err != nil {
+		return SimReport{}, err
+	}
+	return SimReport{Detected: rep.Detected, Decoded: rep.Detected && rep.Result.OK, RSSIdBm: rep.RSSIdBm}, nil
+}

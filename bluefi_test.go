@@ -1,0 +1,140 @@
+package bluefi_test
+
+import (
+	"testing"
+
+	"bluefi"
+)
+
+func TestPublicAPIBeaconEndToEnd(t *testing.T) {
+	syn, err := bluefi.New(bluefi.Options{Chip: bluefi.RTL8811AU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := bluefi.IBeacon{Major: 7, Minor: 9, MeasuredPower: -59}
+	pkt, err := syn.Beacon(b.ADStructures(), [6]byte{1, 2, 3, 4, 5, 6}, 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt.PSDU) == 0 {
+		t.Fatal("empty PSDU")
+	}
+	if pkt.MCS != 7 {
+		t.Fatalf("MCS %d, want 7 in quality mode", pkt.MCS)
+	}
+	if pkt.WiFiChannel != 3 || pkt.FrequencyMHz != 2426 {
+		t.Fatalf("plan %d/%g, want 3/2426", pkt.WiFiChannel, pkt.FrequencyMHz)
+	}
+	if pkt.AirtimeSeconds <= 0 || pkt.AirtimeSeconds > 2e-3 {
+		t.Fatalf("airtime %g s implausible", pkt.AirtimeSeconds)
+	}
+	if pkt.Fidelity <= 0 || pkt.Fidelity > 0.5 {
+		t.Fatalf("fidelity %g rad", pkt.Fidelity)
+	}
+	// Reception over the simulated link: a handful of tries must land.
+	decoded := 0
+	for seed := int64(1); seed <= 10; seed++ {
+		rep, err := syn.Simulate(pkt, bluefi.SimulationParams{DistanceM: 1.5, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Decoded {
+			decoded++
+			if rep.RSSIdBm > 0 || rep.RSSIdBm < -90 {
+				t.Fatalf("RSSI %g dBm implausible", rep.RSSIdBm)
+			}
+		}
+	}
+	t.Logf("decoded %d/10 at 1.5 m", decoded)
+}
+
+func TestPublicAPIBRPacket(t *testing.T) {
+	syn, err := bluefi.New(bluefi.Options{Mode: bluefi.RealTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := bluefi.Device{LAP: 0x123456, UAP: 0x9A}
+	decoded, mcs := 0, 0
+	// Successive slots whiten differently, as on a real link.
+	for slot := uint32(0); slot < 12; slot++ {
+		clk := 4 * slot
+		pkt, err := syn.BRPacket(dev, &bluefi.BasebandPacket{
+			Type: bluefi.DM1, LTAddr: 1, Payload: []byte("hello"), Clock: clk,
+		}, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mcs = pkt.MCS
+		rep, err := syn.SimulateBR(pkt, dev, clk, bluefi.SimulationParams{Seed: int64(slot + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Decoded {
+			decoded++
+		}
+	}
+	if mcs != 5 {
+		t.Fatalf("MCS %d, want 5 in real-time mode", mcs)
+	}
+	if decoded == 0 {
+		t.Fatal("DM1 packet never decoded over 12 slots")
+	}
+	t.Logf("decoded %d/12 DM1 slots", decoded)
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	if _, err := bluefi.New(bluefi.Options{Chip: 99}); err == nil {
+		t.Error("accepted unknown chip")
+	}
+	if _, err := bluefi.New(bluefi.Options{WiFiChannel: 99}); err == nil {
+		t.Error("accepted WiFi channel 99")
+	}
+	syn, _ := bluefi.New(bluefi.Options{})
+	if _, err := syn.Beacon(make([]byte, 40), [6]byte{}, 38); err == nil {
+		t.Error("accepted oversized AD structures")
+	}
+	if _, err := syn.Beacon([]byte{0x02, 0x01, 0x06}, [6]byte{}, 5); err == nil {
+		t.Error("accepted non-advertising channel")
+	}
+	if _, err := syn.Beacon([]byte{0x02, 0x01, 0x06}, [6]byte{}, 39); err == nil {
+		t.Error("accepted channel 39 (2480 MHz) outside WiFi channel 3")
+	}
+	dev := bluefi.Device{LAP: 1}
+	if _, err := syn.BRPacket(dev, &bluefi.BasebandPacket{Type: bluefi.DM1}, 99); err == nil {
+		t.Error("accepted Bluetooth channel 99")
+	}
+}
+
+func TestPlan(t *testing.T) {
+	plans := bluefi.Plan(2426)
+	if len(plans) == 0 || plans[0].WiFiChannel != 3 {
+		t.Fatalf("Plan(2426) = %+v", plans)
+	}
+	if len(bluefi.Plan(2500)) != 0 {
+		t.Error("Plan(2500) should be empty")
+	}
+}
+
+func TestChipSeedPoliciesVisibleInPSDU(t *testing.T) {
+	// Different chips must produce different PSDUs for the same beacon
+	// (their scrambler seeds differ), while the same chip reproduces.
+	mk := func(c bluefi.ChipModel) []byte {
+		syn, err := bluefi.New(bluefi.Options{Chip: c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := bluefi.IBeacon{Major: 1}
+		pkt, err := syn.Beacon(b.ADStructures(), [6]byte{9, 8, 7, 6, 5, 4}, 38)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pkt.PSDU
+	}
+	ar, rtl, ar2 := mk(bluefi.AR9331), mk(bluefi.RTL8811AU), mk(bluefi.AR9331)
+	if string(ar) == string(rtl) {
+		t.Error("AR9331 and RTL8811AU produced identical PSDUs despite different seeds")
+	}
+	if string(ar) != string(ar2) {
+		t.Error("same chip did not reproduce the same PSDU")
+	}
+}

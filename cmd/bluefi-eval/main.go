@@ -1,0 +1,174 @@
+// Command bluefi-eval regenerates every figure and table of the paper's
+// evaluation section (§4) on the simulated substrate and prints the text
+// equivalent of each plot. EXPERIMENTS.md records the paper-vs-measured
+// comparison these outputs feed.
+//
+//	bluefi-eval -fig all
+//	bluefi-eval -fig 9 -n 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bluefi/internal/chip"
+	"bluefi/internal/eval"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5b, 5c, 6, 7a, 7b, 7c, 8, 9, 10, timing, all")
+	n := flag.Int("n", 0, "override per-point sample count (0 = default)")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*fig, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	run := func(name string, f func() error) {
+		if !all && !want[name] {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("5b", func() error {
+		cfg := eval.DefaultFig5(chip.AR9331)
+		if *n > 0 {
+			cfg.Reports = *n
+		}
+		traces, err := eval.Fig5Distance(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatTraces("Fig 5b — RSSI vs distance (AR9331, 18 dBm)", traces))
+		return nil
+	})
+	run("5c", func() error {
+		cfg := eval.DefaultFig5(chip.RTL8811AU)
+		if *n > 0 {
+			cfg.Reports = *n
+		}
+		traces, err := eval.Fig5Distance(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatTraces("Fig 5c — RSSI vs distance (RTL8811AU)", traces))
+		return nil
+	})
+	run("6", func() error {
+		cfg := eval.DefaultFig6()
+		if *n > 0 {
+			cfg.PacketsPerLevel = *n
+		}
+		points, err := eval.Fig6TxPower(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig 6 — RSSI vs transmit power (1.5 m)")
+		last := ""
+		for _, p := range points {
+			if p.Receiver != last {
+				fmt.Printf("  %s:\n", p.Receiver)
+				last = p.Receiver
+			}
+			fmt.Printf("    %4.0f dBm: meanRSSI=%7.1f dBm received=%3.0f%%\n",
+				p.TxPowerDBm, p.MeanRSSI, 100*p.Received)
+		}
+		return nil
+	})
+	run("7a", func() error {
+		packets := 10
+		if *n > 0 {
+			packets = *n
+		}
+		pts, err := eval.Fig7aDedicatedBT(packets, 7)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Fig 7a — dedicated Bluetooth hardware (8 dBm, 1.5 m)")
+		for _, p := range pts {
+			fmt.Printf("  %-14s meanRSSI=%7.1f dBm received=%3.0f%%\n", p.Pair, p.MeanRSSI, 100*p.Received)
+		}
+		return nil
+	})
+	run("7b", func() error {
+		scs, err := eval.Fig7bThroughput(120)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatThroughput(scs))
+		return nil
+	})
+	run("7c", func() error {
+		reports := 12
+		if *n > 0 {
+			reports = *n
+		}
+		traces, err := eval.Fig7cBackgroundTraffic(reports, 11)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatTraces("Fig 7c — RSSI under saturated background WiFi", traces))
+		return nil
+	})
+	run("8", func() error {
+		cfg := eval.DefaultFig8()
+		if *n > 0 {
+			cfg.PacketsPerStage = *n
+		}
+		pts, err := eval.Fig8Impairments(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatImpairments(pts))
+		return nil
+	})
+	run("9", func() error {
+		cfg := eval.DefaultFig9()
+		if *n > 0 {
+			cfg.PacketsPerChannel = *n
+		}
+		rows, err := eval.Fig9SingleSlotPER(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatChannelPER("Fig 9 — PER with single-slot (DM1) packets", rows))
+		return nil
+	})
+	run("10", func() error {
+		cfg := eval.DefaultFig10()
+		if *n > 0 {
+			cfg.Packets = *n
+		}
+		multi, err := eval.Fig10AudioPER(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatAudio(multi))
+		single, err := eval.Fig10AudioSingleSlot(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println("  (single-slot comparison, §4.7's short-packet trade-off:)")
+		fmt.Print(eval.FormatAudio(single))
+		return nil
+	})
+	run("timing", func() error {
+		iters := 5
+		if *n > 0 {
+			iters = *n
+		}
+		res, err := eval.Sec48Timings(iters)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatTimings(res))
+		return nil
+	})
+}

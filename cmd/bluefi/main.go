@@ -1,0 +1,233 @@
+// Command bluefi converts Bluetooth packets into 802.11n PSDUs on the
+// command line — the tool a driver integration would call (paper §3: the
+// generation starts in user space and the PSDU goes to the driver).
+//
+//	bluefi beacon -uuid 0102...0f10 -major 1 -minor 2 [-ble-channel 38]
+//	bluefi beacon -eddystone-url https://example.com
+//	bluefi br -payload 68656c6c6f -type DM1 -lap 123456 -uap 9a -clock 4 -bt-channel 24
+//	bluefi plan -freq 2426
+//
+// Output is the PSDU as hex plus the transmit parameters (MCS, WiFi
+// channel, short GI, scrambler seed policy).
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bluefi"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "beacon":
+		err = beaconCmd(os.Args[2:])
+	case "br":
+		err = brCmd(os.Args[2:])
+	case "plan":
+		err = planCmd(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bluefi:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: bluefi <beacon|br|plan> [flags]
+  beacon  synthesize a BLE advertising packet (iBeacon/Eddystone/raw AD)
+  br      synthesize a classic BR/EDR baseband packet
+  plan    list WiFi channels able to carry a Bluetooth frequency`)
+}
+
+func chipFlag(fs *flag.FlagSet) *string {
+	return fs.String("chip", "ar9331", "target chip: ar9331, rtl8811au, generic")
+}
+
+func parseChip(name string) (bluefi.ChipModel, error) {
+	switch strings.ToLower(name) {
+	case "ar9331":
+		return bluefi.AR9331, nil
+	case "rtl8811au":
+		return bluefi.RTL8811AU, nil
+	case "generic":
+		return bluefi.Generic80211n, nil
+	}
+	return 0, fmt.Errorf("unknown chip %q", name)
+}
+
+func printPacket(pkt *bluefi.Packet) {
+	fmt.Printf("psdu (%d bytes):\n", len(pkt.PSDU))
+	dump := hex.EncodeToString(pkt.PSDU)
+	for i := 0; i < len(dump); i += 64 {
+		end := i + 64
+		if end > len(dump) {
+			end = len(dump)
+		}
+		fmt.Printf("  %s\n", dump[i:end])
+	}
+	fmt.Printf("transmit: MCS %d, short GI, WiFi channel %d (Bluetooth %.0f MHz)\n",
+		pkt.MCS, pkt.WiFiChannel, pkt.FrequencyMHz)
+	fmt.Printf("airtime: %.0f µs   in-band phase RMSE: %.3f rad\n",
+		pkt.AirtimeSeconds*1e6, pkt.Fidelity)
+}
+
+func beaconCmd(args []string) error {
+	fs := flag.NewFlagSet("beacon", flag.ExitOnError)
+	chip := chipFlag(fs)
+	wifiCh := fs.Int("wifi-channel", 3, "2.4 GHz WiFi channel (1-13)")
+	bleCh := fs.Int("ble-channel", 38, "advertising channel: 37, 38 or 39")
+	addrHex := fs.String("addr", "b10ef1000001", "6-byte advertiser address (hex)")
+	uuid := fs.String("uuid", "", "iBeacon UUID (32 hex chars)")
+	major := fs.Uint("major", 0, "iBeacon major")
+	minor := fs.Uint("minor", 0, "iBeacon minor")
+	power := fs.Int("power", -59, "iBeacon measured power at 1 m (dBm)")
+	urlStr := fs.String("eddystone-url", "", "Eddystone URL (https://... )")
+	adHex := fs.String("ad", "", "raw AD structures (hex, overrides other payload flags)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cm, err := parseChip(*chip)
+	if err != nil {
+		return err
+	}
+	var addr [6]byte
+	ab, err := hex.DecodeString(*addrHex)
+	if err != nil || len(ab) != 6 {
+		return fmt.Errorf("-addr must be 12 hex chars")
+	}
+	copy(addr[:], ab)
+
+	var ad []byte
+	switch {
+	case *adHex != "":
+		ad, err = hex.DecodeString(*adHex)
+		if err != nil {
+			return fmt.Errorf("-ad: %w", err)
+		}
+	case *urlStr != "":
+		scheme, rest, err := splitURL(*urlStr)
+		if err != nil {
+			return err
+		}
+		e := bluefi.EddystoneURL{TxPower: -20, Scheme: scheme, URL: rest}
+		ad, err = e.ADStructures()
+		if err != nil {
+			return err
+		}
+	default:
+		b := bluefi.IBeacon{Major: uint16(*major), Minor: uint16(*minor), MeasuredPower: int8(*power)}
+		if *uuid != "" {
+			ub, err := hex.DecodeString(*uuid)
+			if err != nil || len(ub) != 16 {
+				return fmt.Errorf("-uuid must be 32 hex chars")
+			}
+			copy(b.UUID[:], ub)
+		}
+		ad = b.ADStructures()
+	}
+
+	syn, err := bluefi.New(bluefi.Options{Chip: cm, WiFiChannel: *wifiCh})
+	if err != nil {
+		return err
+	}
+	pkt, err := syn.Beacon(ad, addr, *bleCh)
+	if err != nil {
+		return err
+	}
+	printPacket(pkt)
+	return nil
+}
+
+func splitURL(u string) (byte, string, error) {
+	switch {
+	case strings.HasPrefix(u, "https://www."):
+		return 1, strings.TrimPrefix(u, "https://www."), nil
+	case strings.HasPrefix(u, "http://www."):
+		return 0, strings.TrimPrefix(u, "http://www."), nil
+	case strings.HasPrefix(u, "https://"):
+		return 3, strings.TrimPrefix(u, "https://"), nil
+	case strings.HasPrefix(u, "http://"):
+		return 2, strings.TrimPrefix(u, "http://"), nil
+	}
+	return 0, "", fmt.Errorf("URL must start with http(s)://")
+}
+
+func brCmd(args []string) error {
+	fs := flag.NewFlagSet("br", flag.ExitOnError)
+	chip := chipFlag(fs)
+	wifiCh := fs.Int("wifi-channel", 3, "2.4 GHz WiFi channel (1-13)")
+	btCh := fs.Int("bt-channel", 24, "Bluetooth channel index (0-78)")
+	typ := fs.String("type", "DM1", "packet type: DM1 DH1 DM3 DH3 DM5 DH5")
+	payloadHex := fs.String("payload", "", "payload bytes (hex)")
+	lap := fs.Uint("lap", 0x123456, "device LAP (24 bits)")
+	uap := fs.Uint("uap", 0x9A, "device UAP (8 bits)")
+	clock := fs.Uint("clock", 0, "Bluetooth clock at transmission (whitening)")
+	realtime := fs.Bool("realtime", true, "use the O(T) real-time FEC inverter")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cm, err := parseChip(*chip)
+	if err != nil {
+		return err
+	}
+	types := map[string]bluefi.PacketType{
+		"DM1": bluefi.DM1, "DH1": bluefi.DH1, "DM3": bluefi.DM3,
+		"DH3": bluefi.DH3, "DM5": bluefi.DM5, "DH5": bluefi.DH5,
+	}
+	pt, ok := types[strings.ToUpper(*typ)]
+	if !ok {
+		return fmt.Errorf("unknown packet type %q", *typ)
+	}
+	payload, err := hex.DecodeString(*payloadHex)
+	if err != nil {
+		return fmt.Errorf("-payload: %w", err)
+	}
+	mode := bluefi.Quality
+	if *realtime {
+		mode = bluefi.RealTime
+	}
+	syn, err := bluefi.New(bluefi.Options{Chip: cm, WiFiChannel: *wifiCh, Mode: mode})
+	if err != nil {
+		return err
+	}
+	pkt, err := syn.BRPacket(
+		bluefi.Device{LAP: uint32(*lap), UAP: byte(*uap)},
+		&bluefi.BasebandPacket{Type: pt, LTAddr: 1, Payload: payload, Clock: uint32(*clock)},
+		*btCh,
+	)
+	if err != nil {
+		return err
+	}
+	printPacket(pkt)
+	return nil
+}
+
+func planCmd(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	freq := fs.Float64("freq", 2426, "Bluetooth carrier frequency (MHz)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plans := bluefi.Plan(*freq)
+	if len(plans) == 0 {
+		return fmt.Errorf("no 2.4 GHz WiFi channel covers %g MHz", *freq)
+	}
+	fmt.Printf("WiFi channels able to carry %g MHz (best first):\n", *freq)
+	for _, p := range plans {
+		fmt.Printf("  channel %2d (%g MHz): subcarrier %+6.1f, nearest pilot %.2f MHz, nearest null %.2f MHz\n",
+			p.WiFiChannel, p.WiFiCenterMHz, p.Subcarrier, p.PilotDistanceMHz, p.NullDistanceMHz)
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+// Audio: stream real-time A2DP audio over BlueFi (paper §4.7) — the
+// pipeline the paper demonstrated with Sony SBH20 headphones: PCM is
+// SBC-encoded, wrapped in AVDTP/L2CAP, scheduled onto Bluetooth time
+// slots along the AFH-restricted hop sequence inside one WiFi channel,
+// and each baseband packet is synthesized as a WiFi frame stamped with
+// the slot clock that whitens it.
+//
+// The example streams a two-tone test signal with short DM3 packets (the
+// §4.7 "shorter packets" operating point that keeps PER workable),
+// measures PER with an FTS4BT-class sniffer, and reports delivery.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"bluefi"
+)
+
+func main() {
+	syn, err := bluefi.New(bluefi.Options{Chip: bluefi.RTL8811AU, Mode: bluefi.RealTime})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dev := bluefi.Device{LAP: 0x123456, UAP: 0x9A}
+	stream, err := syn.NewAudioStream(bluefi.AudioConfig{
+		Device:          dev,
+		PacketType:      bluefi.DM3, // short on air with a single compact frame
+		BestChannels:    1,          // §4.7: "PER can be drastically decreased by using fewer channels"
+		SBC:             bluefi.SBCConfig{SampleRateHz: 16000, Blocks: 4, Subbands: 4, Bitpool: 8},
+		FramesPerPacket: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("A2DP/SBC stream: %d channel(s), %d samples per media packet\n",
+		stream.Channels(), stream.SamplesPerSend())
+
+	const mediaPackets = 30
+	sent, received := 0, 0
+	deliveredMedia := 0
+	channelUse := map[int]int{}
+	sampleClock := 0
+	for p := 0; p < mediaPackets; p++ {
+		// Generate the next slice of a 440 Hz + 1.2 kHz test tone.
+		pcm := make([][]float64, stream.Channels())
+		for ch := range pcm {
+			pcm[ch] = make([]float64, stream.SamplesPerSend())
+			for i := range pcm[ch] {
+				tt := float64(sampleClock + i)
+				pcm[ch][i] = 9000*math.Sin(2*math.Pi*440/16000*tt) + 4000*math.Sin(2*math.Pi*1200/16000*tt)
+			}
+		}
+		sampleClock += stream.SamplesPerSend()
+
+		txs, err := stream.Send(pcm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		allOK := true
+		for _, tx := range txs {
+			sent++
+			channelUse[tx.BTChannel]++
+			rep, err := syn.SimulateBR(tx.Packet, dev, tx.Clock, bluefi.SimulationParams{
+				Receiver: "FTS4BT", DistanceM: 1.5, Seed: int64(sent),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.Decoded {
+				received++
+			} else {
+				allOK = false
+			}
+		}
+		if allOK {
+			deliveredMedia++
+		}
+	}
+	fmt.Printf("\nstreamed %d media packets as %d baseband packets over channels %v\n",
+		mediaPackets, sent, keys(channelUse))
+	fmt.Printf("baseband PER: %.0f%%   media packets fully delivered: %d/%d\n",
+		100*float64(sent-received)/float64(sent), deliveredMedia, mediaPackets)
+	fmt.Println("\n(the paper streams 5-slot packets to real headphones at 23% PER; this")
+	fmt.Println(" simulation uses §4.7's own fallbacks — short packets on the best channel —")
+	fmt.Println(" plus rehearsal-gated slots, an extension where the synthesizer re-slots")
+	fmt.Println(" packets it predicts will fail; EXPERIMENTS.md quantifies the remaining gap)")
+}
+
+func keys(m map[int]int) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

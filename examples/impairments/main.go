@@ -1,0 +1,86 @@
+// Impairments: walk the Fig. 8 ablation — each WiFi-hardware impairment
+// applied cumulatively to an ideal Bluetooth waveform, measuring the RSSI
+// and decodability cost of every transmit-chain block the BlueFi pipeline
+// has to reverse (§2.4–2.8, §4.6).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bluefi/internal/beacon"
+	"bluefi/internal/bt"
+	"bluefi/internal/btrx"
+	"bluefi/internal/channel"
+	"bluefi/internal/core"
+	"bluefi/internal/gfsk"
+)
+
+func main() {
+	// Build the evaluation beacon.
+	b := beacon.IBeacon{Major: 1, Minor: 1, MeasuredPower: -59}
+	adv, err := beacon.Advertisement([6]byte{1, 2, 3, 4, 5, 6}, b.ADStructures())
+	if err != nil {
+		log.Fatal(err)
+	}
+	air, err := adv.AirBits(38)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := core.DefaultOptions()
+	opts.GFSK = gfsk.BLEConfig()
+	syn, err := core.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	waves, err := syn.Ablation(air, 2426)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := core.PlanForChannel(2426, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("cumulative impairments of the 802.11n transmit chain (Fig. 8):")
+	fmt.Println("  stage         what the hardware adds                    RSSI    decoded")
+	notes := map[core.Stage]string{
+		core.StageBaseline:  "ideal GFSK, as a Bluetooth radio sends it",
+		core.StageCP:        "cyclic prefix + OFDM windowing (§2.4)",
+		core.StageQAM:       "64-QAM constellation quantization (§2.5)",
+		core.StagePilotNull: "pilot tones and null subcarriers (§2.6)",
+		core.StageFEC:       "convolutional-code inversion flips (§2.7)",
+		core.StageHeader:    "preamble + SERVICE/pad pinning (§2.8)",
+	}
+	for _, w := range waves {
+		rcv, err := btrx.NewReceiver(btrx.Pixel, plan.OffsetHz, bt.Device{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, rssiSum, n := 0, 0.0, 8
+		for seed := int64(1); seed <= int64(n); seed++ {
+			ch := channel.Default(18, 1.5)
+			ch.Seed = seed
+			rx, err := ch.Apply(w.IQ)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep, err := rcv.ReceiveBLE(rx, 38)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.Detected {
+				rssiSum += rep.RSSIdBm
+				if rep.Result.OK {
+					got++
+				}
+			}
+		}
+		fmt.Printf("  %-12s  %-42s %6.1f dBm  %d/%d\n",
+			w.Stage, notes[w.Stage], rssiSum/float64(n), got, n)
+	}
+	fmt.Println("\neach stage sheds in-band energy and decodability; frequency planning,")
+	fmt.Println("weighted FEC inversion and pilot pre-compensation claw most of it back")
+	fmt.Println("in the full pipeline (the +Header row IS the shipping synthesizer)")
+}

@@ -1,0 +1,52 @@
+// Quickstart: synthesize one iBeacon advertisement as a WiFi frame and
+// verify it decodes on a simulated, unmodified Bluetooth receiver.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bluefi"
+)
+
+func main() {
+	// A synthesizer targets one chip and one WiFi channel. The RTL8811AU
+	// model uses Realtek's fixed scrambler seed (71), so the PSDU below
+	// is exactly what the paper's patched driver would transmit.
+	syn, err := bluefi.New(bluefi.Options{Chip: bluefi.RTL8811AU})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build a standard iBeacon payload...
+	b := bluefi.IBeacon{Major: 1, Minor: 42, MeasuredPower: -59}
+	copy(b.UUID[:], []byte("bluefi-over-wifi"))
+
+	// ...and synthesize it for BLE advertising channel 38 (2426 MHz),
+	// which WiFi channel 3 carries with the most pilot clearance.
+	pkt, err := syn.Beacon(b.ADStructures(), [6]byte{0xB1, 0x0E, 0xF1, 0, 0, 1}, 38)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized %d-byte PSDU: transmit at MCS %d, short GI, WiFi channel %d\n",
+		len(pkt.PSDU), pkt.MCS, pkt.WiFiChannel)
+	fmt.Printf("in-band waveform fidelity: %.3f rad phase RMSE, %.0f µs airtime\n",
+		pkt.Fidelity, pkt.AirtimeSeconds*1e6)
+
+	// On hardware, pkt.PSDU now goes to the WiFi driver. Here, run the
+	// simulated radio link instead: path loss, noise, and an unmodified
+	// Bluetooth receiver (a Pixel phone profile) 1.5 m away.
+	decoded := 0
+	var rssi float64
+	for seed := int64(1); seed <= 20; seed++ {
+		rep, err := syn.Simulate(pkt, bluefi.SimulationParams{DistanceM: 1.5, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Decoded {
+			decoded++
+			rssi = rep.RSSIdBm
+		}
+	}
+	fmt.Printf("simulated Pixel at 1.5 m decoded %d/20 beacons, RSSI ≈ %.0f dBm\n", decoded, rssi)
+}

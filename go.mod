@@ -1,0 +1,3 @@
+module bluefi
+
+go 1.22

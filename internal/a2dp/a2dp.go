@@ -1,0 +1,269 @@
+// Package a2dp implements the audio-streaming path of the paper's §4.7
+// demo: AVDTP media packets (an RTP-style header carrying SBC frames)
+// wrapped in L2CAP, and a real-time stream scheduler that allocates
+// Bluetooth time slots, follows the AFH-restricted hop sequence inside a
+// single WiFi channel, picks the three best Bluetooth channels for
+// multi-slot audio packets, and stamps each packet with the clock value
+// that whitens it.
+package a2dp
+
+import (
+	"fmt"
+
+	"bluefi/internal/bt"
+	"bluefi/internal/l2cap"
+	"bluefi/internal/sbc"
+)
+
+// MediaHeaderLen is the RTP-style AVDTP media packet header size: V/P/X/CC,
+// M/PT, sequence number, timestamp, SSRC — 12 bytes — plus the one-byte
+// SBC payload header (fragmentation/frame count).
+const MediaHeaderLen = 13
+
+// MediaPacket is one AVDTP media packet carrying whole SBC frames.
+type MediaPacket struct {
+	SequenceNumber uint16
+	Timestamp      uint32
+	SSRC           uint32
+	Frames         [][]byte
+}
+
+// Marshal builds the RTP-style packet.
+func (m *MediaPacket) Marshal() ([]byte, error) {
+	if len(m.Frames) == 0 || len(m.Frames) > 15 {
+		return nil, fmt.Errorf("a2dp: %d SBC frames per packet out of range 1–15", len(m.Frames))
+	}
+	out := make([]byte, 0, 64)
+	out = append(out, 0x80) // V=2
+	out = append(out, 96)   // dynamic payload type
+	out = append(out, byte(m.SequenceNumber>>8), byte(m.SequenceNumber))
+	out = append(out, byte(m.Timestamp>>24), byte(m.Timestamp>>16), byte(m.Timestamp>>8), byte(m.Timestamp))
+	out = append(out, byte(m.SSRC>>24), byte(m.SSRC>>16), byte(m.SSRC>>8), byte(m.SSRC))
+	out = append(out, byte(len(m.Frames))) // SBC payload header: frame count
+	for _, f := range m.Frames {
+		out = append(out, f...)
+	}
+	return out, nil
+}
+
+// UnmarshalMediaPacket parses a media packet and splits its SBC frames
+// using the frame size from the first frame's header.
+func UnmarshalMediaPacket(data []byte) (*MediaPacket, error) {
+	if len(data) < MediaHeaderLen {
+		return nil, fmt.Errorf("a2dp: %d bytes too short for a media header", len(data))
+	}
+	if data[0] != 0x80 {
+		return nil, fmt.Errorf("a2dp: unsupported RTP flags %#02x", data[0])
+	}
+	m := &MediaPacket{
+		SequenceNumber: uint16(data[2])<<8 | uint16(data[3]),
+		Timestamp:      uint32(data[4])<<24 | uint32(data[5])<<16 | uint32(data[6])<<8 | uint32(data[7]),
+		SSRC:           uint32(data[8])<<24 | uint32(data[9])<<16 | uint32(data[10])<<8 | uint32(data[11]),
+	}
+	count := int(data[12] & 0x0F)
+	body := data[MediaHeaderLen:]
+	if count == 0 {
+		return nil, fmt.Errorf("a2dp: zero SBC frames")
+	}
+	cfg, err := sbc.ParseHeader(body)
+	if err != nil {
+		return nil, fmt.Errorf("a2dp: first SBC frame: %w", err)
+	}
+	size := cfg.FrameBytes()
+	if len(body) < count*size {
+		return nil, fmt.Errorf("a2dp: %d bytes for %d frames of %d", len(body), count, size)
+	}
+	for i := 0; i < count; i++ {
+		m.Frames = append(m.Frames, append([]byte{}, body[i*size:(i+1)*size]...))
+	}
+	return m, nil
+}
+
+// StreamConfig parameterizes the scheduler.
+type StreamConfig struct {
+	// Device provides the hop kernel inputs and whitening context.
+	Device bt.Device
+	// WiFiCenterMHz anchors the AFH channel set (§4.7: a single WiFi
+	// channel, frequency hopping via subcarriers within it).
+	WiFiCenterMHz float64
+	// PacketType carries the audio (DH5 in the paper's 5-slot demo).
+	PacketType bt.PacketType
+	// BestChannels restricts audio transmission to the N best Bluetooth
+	// channels inside the WiFi channel (3 in §4.7).
+	BestChannels []int
+	// MediaCID is the L2CAP channel of the AVDTP stream.
+	MediaCID uint16
+}
+
+// Scheduler allocates time slots for audio packets along the AFH-mapped
+// hop sequence.
+type Scheduler struct {
+	cfg     StreamConfig
+	hop     *bt.HopSelector
+	afh     *bt.AFHMap
+	best    map[int]bool
+	clk     bt.Clock
+	seq     uint16
+	ssrc    uint32
+	tsTicks uint32
+}
+
+// ScheduledPacket is one audio transmission: the baseband packet, the
+// slot's clock value and the Bluetooth channel (already AFH-mapped).
+type ScheduledPacket struct {
+	Packet     *bt.Packet
+	Clock      bt.Clock
+	Channel    int
+	ChannelMHz float64
+	// SkippedSlots counts master-TX slots passed over because the hop
+	// landed outside the best-channel set.
+	SkippedSlots int
+}
+
+// NewScheduler validates the configuration and builds the scheduler.
+func NewScheduler(cfg StreamConfig) (*Scheduler, error) {
+	if cfg.PacketType.Slots() < 1 {
+		return nil, fmt.Errorf("a2dp: invalid packet type")
+	}
+	allowed := bt.ChannelsInWiFiBand(cfg.WiFiCenterMHz, 0.7)
+	if len(allowed) == 0 {
+		return nil, fmt.Errorf("a2dp: WiFi channel at %g MHz covers no Bluetooth channels", cfg.WiFiCenterMHz)
+	}
+	afh, err := bt.NewAFHMap(allowed)
+	if err != nil {
+		return nil, err
+	}
+	best := map[int]bool{}
+	for _, ch := range cfg.BestChannels {
+		if !afh.Allowed(ch) {
+			return nil, fmt.Errorf("a2dp: best channel %d outside the AFH set", ch)
+		}
+		best[ch] = true
+	}
+	if cfg.MediaCID == 0 {
+		cfg.MediaCID = l2cap.CIDDynamicFirst
+	}
+	return &Scheduler{
+		cfg:  cfg,
+		hop:  bt.NewHopSelector(cfg.Device),
+		afh:  afh,
+		best: best,
+		ssrc: 0xB10EF1,
+	}, nil
+}
+
+// AFHSize returns the AFH channel-set size (20 for a centred WiFi channel).
+func (s *Scheduler) AFHSize() int { return s.afh.Size() }
+
+// Clock returns the scheduler's current Bluetooth clock.
+func (s *Scheduler) Clock() bt.Clock { return s.clk }
+
+// NextSlot advances to the next master-TX slot whose AFH-mapped hop lands
+// on an acceptable channel and returns the slot's clock and channel.
+// When BestChannels is empty every allowed channel qualifies.
+func (s *Scheduler) NextSlot() (bt.Clock, int, int) {
+	skipped := 0
+	for {
+		if !s.clk.IsMasterTxSlot() {
+			s.clk = s.clk.Advance(1)
+			continue
+		}
+		ch := s.afh.Remap(s.hop.Channel(s.clk))
+		if len(s.best) == 0 || s.best[ch] {
+			return s.clk, ch, skipped
+		}
+		skipped++
+		s.clk = s.clk.Advance(2) // next master-TX slot
+	}
+}
+
+// ScheduleMedia packs SBC frames into one AVDTP media packet inside an
+// L2CAP frame, segments it across as many baseband packets as the
+// configured type requires (start fragment LLID 10, continuations 01 —
+// how real A2DP feeds small ACL packets), and allocates a hop-sequence
+// slot for each segment. A multi-slot packet keeps the frequency of its
+// first slot (§4.7) and the master resumes on the next even slot.
+func (s *Scheduler) ScheduleMedia(frames [][]byte, timestampTicks uint32) ([]*ScheduledPacket, error) {
+	media := &MediaPacket{SequenceNumber: s.seq, Timestamp: s.tsTicks, SSRC: s.ssrc, Frames: frames}
+	s.tsTicks += timestampTicks
+	payload, err := media.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	lf := &l2cap.Frame{CID: s.cfg.MediaCID, Payload: payload}
+	wire, err := lf.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	segments, err := l2cap.Segment(wire, s.cfg.PacketType.MaxPayload())
+	if err != nil {
+		return nil, err
+	}
+	s.seq++
+	out := make([]*ScheduledPacket, 0, len(segments))
+	for i, seg := range segments {
+		clk, ch, skipped := s.NextSlot()
+		llid := byte(0b10)
+		if i > 0 {
+			llid = 0b01
+		}
+		pkt := &bt.Packet{
+			Type:    s.cfg.PacketType,
+			LTAddr:  1,
+			Payload: seg,
+			Clock:   uint32(clk),
+			LLID:    llid,
+			SEQN:    byte(i & 1),
+		}
+		adv := s.cfg.PacketType.Slots()
+		if adv%2 == 1 {
+			adv++
+		}
+		s.clk = clk.Advance(adv)
+		out = append(out, &ScheduledPacket{
+			Packet:       pkt,
+			Clock:        clk,
+			Channel:      ch,
+			ChannelMHz:   bt.ChannelMHz(ch),
+			SkippedSlots: skipped,
+		})
+	}
+	return out, nil
+}
+
+// Reslot moves a scheduled packet to the next usable slot — the
+// rehearsal-gated transmission path: when synthesis predicts a frame
+// will fail (core.Result.RehearsalMismatches > 0), the scheduler can try
+// the next slot, whose different clock re-whitens the payload into a
+// different waveform.
+func (s *Scheduler) Reslot(sp *ScheduledPacket) *ScheduledPacket {
+	clk, ch, skipped := s.NextSlot()
+	pkt := *sp.Packet
+	pkt.Clock = uint32(clk)
+	adv := s.cfg.PacketType.Slots()
+	if adv%2 == 1 {
+		adv++
+	}
+	s.clk = clk.Advance(adv)
+	return &ScheduledPacket{
+		Packet:       &pkt,
+		Clock:        clk,
+		Channel:      ch,
+		ChannelMHz:   bt.ChannelMHz(ch),
+		SkippedSlots: sp.SkippedSlots + skipped,
+	}
+}
+
+// FramesPerPacket returns how many SBC frames of the given config fit in
+// one baseband packet after L2CAP and AVDTP overhead.
+func FramesPerPacket(pt bt.PacketType, cfg sbc.Config) int {
+	budget := pt.MaxPayload() - 4 - MediaHeaderLen // L2CAP + media header
+	if budget < cfg.FrameBytes() {
+		return 0
+	}
+	n := budget / cfg.FrameBytes()
+	if n > 15 {
+		n = 15
+	}
+	return n
+}

@@ -1,0 +1,42 @@
+package a2dp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bluefi/internal/sbc"
+)
+
+// Property: any set of 1–15 equal-size frames survives the media-packet
+// round trip with headers intact.
+func TestMediaPacketQuick(t *testing.T) {
+	cfg := sbc.Config{Freq: sbc.Freq16k, Blocks: 4, Mode: sbc.Mono, Alloc: sbc.SNR, Subbands: 4, Bitpool: 8}
+	enc, err := sbc.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := enc.Encode([][]float64{make([]float64, cfg.SamplesPerFrame())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seq uint16, ts uint32, count uint8) bool {
+		n := int(count%15) + 1
+		frames := make([][]byte, n)
+		for i := range frames {
+			frames[i] = frame
+		}
+		m := &MediaPacket{SequenceNumber: seq, Timestamp: ts, SSRC: 7, Frames: frames}
+		wire, err := m.Marshal()
+		if err != nil {
+			return false
+		}
+		back, err := UnmarshalMediaPacket(wire)
+		if err != nil {
+			return false
+		}
+		return back.SequenceNumber == seq && back.Timestamp == ts && len(back.Frames) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

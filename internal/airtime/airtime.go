@@ -1,0 +1,109 @@
+// Package airtime models WiFi channel occupancy and saturation throughput
+// for the coexistence experiment (paper §4.5, Fig. 7b): an iPerf3-style
+// saturated TCP flow shares the channel with periodic BlueFi packets or,
+// for comparison, with a dedicated Bluetooth transmitter that the standard
+// coexistence mechanism protects by pausing WiFi. The model is a slotted
+// DCF airtime account — accurate enough for the figure's point, which is
+// that a 10 Hz beacon costs about a megabit of a ~49 Mb/s link.
+package airtime
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Config describes one throughput measurement scenario.
+type Config struct {
+	// LinkCapacityMbps is the saturated TCP goodput with the channel to
+	// itself (the paper's baseline measures ≈48.8 Mb/s).
+	LinkCapacityMbps float64
+	// ForeignAirtimeFraction is the channel share taken by other BSSs
+	// (the paper's office has at least two other APs co-channel).
+	ForeignAirtimeFraction float64
+	// BlueFiPacketsPerSecond and BlueFiAirtime give the injected
+	// Bluetooth-over-WiFi load (airtime seconds per packet).
+	BlueFiPacketsPerSecond float64
+	BlueFiAirtime          float64
+	// CPUOverheadFraction models the AR9331's single-core MCU spending
+	// cycles on packet generation (§4.5 attributes part of the ~1 Mb/s
+	// drop to CPU and memory, not airtime).
+	CPUOverheadFraction float64
+	// BTCoexDutyCycle is airtime ceded to a dedicated Bluetooth radio via
+	// the standard coexistence mechanism (zero when BlueFi is used —
+	// §5.2's convergence argument).
+	BTCoexDutyCycle float64
+	// JitterStd adds per-second measurement noise (Mb/s).
+	JitterStd float64
+	// Seed drives the jitter.
+	Seed int64
+}
+
+// Baseline returns the paper's office scenario with no Bluetooth traffic.
+func Baseline() Config {
+	return Config{
+		LinkCapacityMbps:       48.8,
+		ForeignAirtimeFraction: 0,
+		JitterStd:              1.4,
+		Seed:                   1,
+	}
+}
+
+// Throughput returns the mean UL goodput in Mb/s for the scenario.
+func (c Config) Throughput() float64 {
+	share := 1 - c.ForeignAirtimeFraction
+	share -= c.BlueFiPacketsPerSecond * c.BlueFiAirtime
+	share -= c.BTCoexDutyCycle
+	if share < 0 {
+		share = 0
+	}
+	return c.LinkCapacityMbps * share * (1 - c.CPUOverheadFraction)
+}
+
+// Series simulates per-second iPerf3 reports for the given duration.
+func (c Config) Series(seconds int) ([]float64, error) {
+	if seconds <= 0 {
+		return nil, fmt.Errorf("airtime: non-positive duration")
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	mean := c.Throughput()
+	out := make([]float64, seconds)
+	for i := range out {
+		v := mean + rng.NormFloat64()*c.JitterStd
+		if v < 0 {
+			v = 0
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Stats summarizes a series.
+type Stats struct {
+	Mean, Median, Min, Max float64
+}
+
+// Summarize computes series statistics.
+func Summarize(series []float64) Stats {
+	if len(series) == 0 {
+		return Stats{}
+	}
+	sorted := make([]float64, len(series))
+	copy(sorted, series)
+	for i := 1; i < len(sorted); i++ { // insertion sort; series are short
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	s := Stats{Min: sorted[0], Max: sorted[len(sorted)-1]}
+	for _, v := range series {
+		s.Mean += v
+	}
+	s.Mean /= float64(len(series))
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}

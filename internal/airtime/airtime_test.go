@@ -1,0 +1,88 @@
+package airtime
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBaselineThroughput(t *testing.T) {
+	b := Baseline()
+	if got := b.Throughput(); math.Abs(got-48.8) > 1e-9 {
+		t.Fatalf("baseline throughput %g, want 48.8", got)
+	}
+}
+
+func TestBlueFiCostIsSmall(t *testing.T) {
+	// §4.5: BlueFi beacons at 10 Hz cost ≈1 Mb/s of a ~49 Mb/s link.
+	c := Baseline()
+	c.BlueFiPacketsPerSecond = 10
+	c.BlueFiAirtime = 300e-6 // a few-thousand-byte PSDU
+	c.CPUOverheadFraction = 0.017
+	got := c.Throughput()
+	drop := Baseline().Throughput() - got
+	if drop < 0.3 || drop > 2.5 {
+		t.Fatalf("BlueFi throughput drop %.2f Mb/s, want ≈1", drop)
+	}
+}
+
+func TestBTCoexCost(t *testing.T) {
+	c := Baseline()
+	c.BTCoexDutyCycle = 0.005 // dedicated BT beacon airtime ceded by coex
+	drop := Baseline().Throughput() - c.Throughput()
+	if drop <= 0 || drop > 1 {
+		t.Fatalf("BT coex drop %.2f Mb/s implausible", drop)
+	}
+}
+
+func TestSeriesStatistics(t *testing.T) {
+	c := Baseline()
+	s, err := c.Series(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 120 {
+		t.Fatalf("series length %d", len(s))
+	}
+	st := Summarize(s)
+	if math.Abs(st.Mean-48.8) > 1 {
+		t.Fatalf("mean %.1f, want ≈48.8", st.Mean)
+	}
+	if st.Min > st.Median || st.Median > st.Max {
+		t.Fatal("order statistics inconsistent")
+	}
+	if _, err := c.Series(0); err == nil {
+		t.Error("accepted zero duration")
+	}
+}
+
+func TestSeriesDeterministicPerSeed(t *testing.T) {
+	c := Baseline()
+	a, _ := c.Series(50)
+	b, _ := c.Series(50)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+func TestShareClamp(t *testing.T) {
+	c := Baseline()
+	c.BlueFiPacketsPerSecond = 1e6
+	c.BlueFiAirtime = 1
+	if got := c.Throughput(); got != 0 {
+		t.Fatalf("oversubscribed channel throughput %g, want 0", got)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Mean != 0 || s.Median != 0 {
+		t.Fatal("empty summary not zero")
+	}
+	if s := Summarize([]float64{5}); s.Median != 5 || s.Mean != 5 {
+		t.Fatal("singleton summary wrong")
+	}
+	if s := Summarize([]float64{1, 3}); s.Median != 2 {
+		t.Fatalf("even-length median %g", s.Median)
+	}
+}

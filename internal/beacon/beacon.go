@@ -1,0 +1,105 @@
+// Package beacon builds the advertisement payloads of the paper's beacon
+// application (§1, §4): iBeacon, Eddystone-UID, Eddystone-URL and
+// AltBeacon AD structures, ready to wrap in a BLE advertising PDU.
+package beacon
+
+import (
+	"fmt"
+
+	"bluefi/internal/bt"
+)
+
+// adFlags is the standard "LE General Discoverable, BR/EDR not supported"
+// flags structure every beacon leads with.
+var adFlags = []byte{0x02, 0x01, 0x06}
+
+// IBeacon is Apple's proximity beacon format.
+type IBeacon struct {
+	UUID         [16]byte
+	Major, Minor uint16
+	// MeasuredPower is the calibrated RSSI at 1 m, as a signed dBm byte.
+	MeasuredPower int8
+}
+
+// ADStructures returns the advertising data.
+func (b IBeacon) ADStructures() []byte {
+	out := append([]byte{}, adFlags...)
+	out = append(out, 0x1A, 0xFF, 0x4C, 0x00, 0x02, 0x15)
+	out = append(out, b.UUID[:]...)
+	out = append(out, byte(b.Major>>8), byte(b.Major), byte(b.Minor>>8), byte(b.Minor), byte(b.MeasuredPower))
+	return out
+}
+
+// EddystoneUID is Google's UID frame.
+type EddystoneUID struct {
+	TxPower   int8 // at 0 m
+	Namespace [10]byte
+	Instance  [6]byte
+}
+
+// ADStructures returns the advertising data.
+func (b EddystoneUID) ADStructures() []byte {
+	out := append([]byte{}, adFlags...)
+	out = append(out, 0x03, 0x03, 0xAA, 0xFE)                        // 16-bit service UUID list
+	out = append(out, 0x17, 0x16, 0xAA, 0xFE, 0x00, byte(b.TxPower)) // service data, frame type UID
+	out = append(out, b.Namespace[:]...)
+	out = append(out, b.Instance[:]...)
+	out = append(out, 0x00, 0x00) // RFU
+	return out
+}
+
+// EddystoneURL is Google's compressed-URL frame.
+type EddystoneURL struct {
+	TxPower int8
+	// Scheme indexes the URL scheme table (0 = http://www., 1 =
+	// https://www., 2 = http://, 3 = https://).
+	Scheme byte
+	// URL is the remainder; expansion bytes 0x00–0x0D are allowed.
+	URL string
+}
+
+// ADStructures returns the advertising data or an error when the URL
+// exceeds the 31-byte advertising budget.
+func (b EddystoneURL) ADStructures() ([]byte, error) {
+	if b.Scheme > 3 {
+		return nil, fmt.Errorf("beacon: URL scheme %d out of range", b.Scheme)
+	}
+	if len(b.URL) > 17 {
+		return nil, fmt.Errorf("beacon: encoded URL of %d bytes exceeds the advertising budget", len(b.URL))
+	}
+	out := append([]byte{}, adFlags...)
+	out = append(out, 0x03, 0x03, 0xAA, 0xFE)
+	out = append(out, byte(6+len(b.URL)), 0x16, 0xAA, 0xFE, 0x10, byte(b.TxPower), b.Scheme)
+	out = append(out, []byte(b.URL)...)
+	return out, nil
+}
+
+// AltBeacon is the open beacon format.
+type AltBeacon struct {
+	ManufacturerID uint16
+	BeaconID       [20]byte
+	ReferenceRSSI  int8
+}
+
+// ADStructures returns the advertising data.
+func (b AltBeacon) ADStructures() []byte {
+	out := append([]byte{}, adFlags...)
+	out = append(out, 0x1B, 0xFF, byte(b.ManufacturerID), byte(b.ManufacturerID>>8), 0xBE, 0xAC)
+	out = append(out, b.BeaconID[:]...)
+	out = append(out, byte(b.ReferenceRSSI), 0x00)
+	return out
+}
+
+// Advertisement wraps AD structures into a non-connectable advertising
+// PDU from the given address.
+func Advertisement(addr [6]byte, adStructures []byte) (*bt.Advertisement, error) {
+	if len(adStructures) > 31 {
+		return nil, fmt.Errorf("beacon: %d bytes of AD structures exceed 31", len(adStructures))
+	}
+	return &bt.Advertisement{
+		PDUType: bt.AdvNonconnInd,
+		AdvA:    addr,
+		Data:    adStructures,
+		TxAdd:   true,
+	}, nil
+}

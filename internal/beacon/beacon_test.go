@@ -1,0 +1,93 @@
+package beacon
+
+import (
+	"testing"
+
+	"bluefi/internal/bt"
+)
+
+func TestIBeaconLayout(t *testing.T) {
+	b := IBeacon{Major: 0x0102, Minor: 0x0304, MeasuredPower: -59}
+	for i := range b.UUID {
+		b.UUID[i] = byte(i)
+	}
+	ad := b.ADStructures()
+	if len(ad) != 30 {
+		t.Fatalf("AD length %d, want 30", len(ad))
+	}
+	// Flags, then manufacturer-specific with Apple's company ID.
+	if ad[4] != 0xFF || ad[5] != 0x4C || ad[6] != 0x00 {
+		t.Fatalf("manufacturer header %x", ad[4:7])
+	}
+	if ad[7] != 0x02 || ad[8] != 0x15 {
+		t.Fatal("iBeacon type/length missing")
+	}
+	if ad[25] != 0x01 || ad[26] != 0x02 || ad[27] != 0x03 || ad[28] != 0x04 {
+		t.Fatalf("major/minor bytes %x", ad[25:29])
+	}
+	if int8(ad[29]) != -59 {
+		t.Fatalf("measured power %d", int8(ad[29]))
+	}
+}
+
+func TestEddystoneUIDLayout(t *testing.T) {
+	b := EddystoneUID{TxPower: -10}
+	ad := b.ADStructures()
+	if len(ad) > 31 {
+		t.Fatalf("AD length %d exceeds 31", len(ad))
+	}
+	// Service UUID 0xFEAA little-endian.
+	if ad[5] != 0xAA || ad[6] != 0xFE {
+		t.Fatalf("service UUID bytes %x", ad[5:7])
+	}
+	if ad[11] != 0x00 {
+		t.Fatal("frame type not UID")
+	}
+}
+
+func TestEddystoneURL(t *testing.T) {
+	b := EddystoneURL{TxPower: -20, Scheme: 3, URL: "example.com"}
+	ad, err := b.ADStructures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ad) > 31 {
+		t.Fatalf("AD length %d exceeds 31", len(ad))
+	}
+	if _, err := (EddystoneURL{Scheme: 9}).ADStructures(); err == nil {
+		t.Error("accepted scheme 9")
+	}
+	if _, err := (EddystoneURL{URL: "very-long-url-that-cannot-fit.example.org"}).ADStructures(); err == nil {
+		t.Error("accepted oversize URL")
+	}
+}
+
+func TestAltBeaconLayout(t *testing.T) {
+	b := AltBeacon{ManufacturerID: 0x0118, ReferenceRSSI: -65}
+	ad := b.ADStructures()
+	if len(ad) > 31 {
+		t.Fatalf("AD length %d exceeds 31", len(ad))
+	}
+	if ad[7] != 0xBE || ad[8] != 0xAC {
+		t.Fatalf("AltBeacon code %x", ad[7:9])
+	}
+}
+
+func TestAdvertisementWrapsAndAirBits(t *testing.T) {
+	b := IBeacon{MeasuredPower: -59}
+	adv, err := Advertisement([6]byte{1, 2, 3, 4, 5, 6}, b.ADStructures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.PDUType != bt.AdvNonconnInd {
+		t.Fatal("beacons must be non-connectable")
+	}
+	for _, ch := range bt.AdvChannels {
+		if _, err := adv.AirBits(ch); err != nil {
+			t.Fatalf("channel %d: %v", ch, err)
+		}
+	}
+	if _, err := Advertisement([6]byte{}, make([]byte, 32)); err == nil {
+		t.Error("accepted 32-byte AD structures")
+	}
+}

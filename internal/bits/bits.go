@@ -1,0 +1,194 @@
+// Package bits provides bit-slice utilities shared by the WiFi and Bluetooth
+// stacks: packing/unpacking in either bit order, XOR, Hamming metrics, and
+// cursor-style readers and writers.
+//
+// Throughout this repository a "bit slice" is a []byte whose elements are 0
+// or 1, one bit per byte. This trades memory for clarity: every transform in
+// the 802.11 and Bluetooth PHYs (scrambling, coding, interleaving,
+// whitening) is defined on individual bits, and profiling shows the
+// packet-synthesis hot path is dominated by the Viterbi search, not by bit
+// storage.
+package bits
+
+import "fmt"
+
+// UnpackLSB expands data into one-bit-per-byte form, least-significant bit
+// of each byte first. This is the transmission order used by both 802.11
+// (PSDU bits) and Bluetooth (all fields).
+func UnpackLSB(data []byte) []byte {
+	out := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			out = append(out, (b>>i)&1)
+		}
+	}
+	return out
+}
+
+// PackLSB is the inverse of UnpackLSB. len(bits) must be a multiple of 8.
+func PackLSB(bits []byte) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("bits: PackLSB length %d not a multiple of 8", len(bits))
+	}
+	out := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("bits: PackLSB element %d is %d, want 0 or 1", i, b)
+		}
+		out[i/8] |= b << (i % 8)
+	}
+	return out, nil
+}
+
+// UnpackMSB expands data into one-bit-per-byte form, most-significant bit of
+// each byte first (network order; used by a few Bluetooth spec tables).
+func UnpackMSB(data []byte) []byte {
+	out := make([]byte, 0, len(data)*8)
+	for _, b := range data {
+		for i := 7; i >= 0; i-- {
+			out = append(out, (b>>i)&1)
+		}
+	}
+	return out
+}
+
+// PackMSB is the inverse of UnpackMSB. len(bits) must be a multiple of 8.
+func PackMSB(bits []byte) ([]byte, error) {
+	if len(bits)%8 != 0 {
+		return nil, fmt.Errorf("bits: PackMSB length %d not a multiple of 8", len(bits))
+	}
+	out := make([]byte, len(bits)/8)
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("bits: PackMSB element %d is %d, want 0 or 1", i, b)
+		}
+		out[i/8] |= b << (7 - i%8)
+	}
+	return out, nil
+}
+
+// UintLSB reads an n-bit unsigned integer from bits, LSB first.
+// It panics if n > 64 or len(bits) < n; callers validate lengths upstream.
+func UintLSB(bits []byte, n int) uint64 {
+	if n > 64 || len(bits) < n {
+		panic(fmt.Sprintf("bits: UintLSB(n=%d) on %d bits", n, len(bits)))
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v |= uint64(bits[i]&1) << i
+	}
+	return v
+}
+
+// PutUintLSB writes the n low bits of v into dst, LSB first, and returns the
+// remainder of dst.
+func PutUintLSB(dst []byte, v uint64, n int) []byte {
+	for i := 0; i < n; i++ {
+		dst[i] = byte(v>>i) & 1
+	}
+	return dst[n:]
+}
+
+// Xor returns a XOR b element-wise. The slices must be the same length.
+func Xor(a, b []byte) []byte {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bits: Xor length mismatch %d vs %d", len(a), len(b)))
+	}
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = (a[i] ^ b[i]) & 1
+	}
+	return out
+}
+
+// HammingDistance counts positions where a and b differ. The slices must be
+// the same length.
+func HammingDistance(a, b []byte) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bits: HammingDistance length mismatch %d vs %d", len(a), len(b)))
+	}
+	d := 0
+	for i := range a {
+		if a[i]&1 != b[i]&1 {
+			d++
+		}
+	}
+	return d
+}
+
+// Weight counts the set bits in a bit slice.
+func Weight(a []byte) int {
+	w := 0
+	for _, b := range a {
+		if b&1 == 1 {
+			w++
+		}
+	}
+	return w
+}
+
+// Repeat returns the bit slice consisting of each input bit repeated n times
+// (Bluetooth's rate-1/3 repetition FEC uses n = 3).
+func Repeat(a []byte, n int) []byte {
+	out := make([]byte, 0, len(a)*n)
+	for _, b := range a {
+		for i := 0; i < n; i++ {
+			out = append(out, b&1)
+		}
+	}
+	return out
+}
+
+// MajorityDecode inverts Repeat by majority vote over each n-bit group.
+// len(a) must be a multiple of n and n must be odd.
+func MajorityDecode(a []byte, n int) ([]byte, error) {
+	if n <= 0 || n%2 == 0 {
+		return nil, fmt.Errorf("bits: MajorityDecode needs odd n, got %d", n)
+	}
+	if len(a)%n != 0 {
+		return nil, fmt.Errorf("bits: MajorityDecode length %d not a multiple of %d", len(a), n)
+	}
+	out := make([]byte, len(a)/n)
+	for i := range out {
+		ones := 0
+		for j := 0; j < n; j++ {
+			if a[i*n+j]&1 == 1 {
+				ones++
+			}
+		}
+		if ones > n/2 {
+			out[i] = 1
+		}
+	}
+	return out, nil
+}
+
+// Reverse returns the bits in reverse order.
+func Reverse(a []byte) []byte {
+	out := make([]byte, len(a))
+	for i, b := range a {
+		out[len(a)-1-i] = b & 1
+	}
+	return out
+}
+
+// Clone returns a copy of the bit slice.
+func Clone(a []byte) []byte {
+	out := make([]byte, len(a))
+	copy(out, a)
+	return out
+}
+
+// Equal reports whether two bit slices are identical in length and content
+// (comparing only the low bit of each element).
+func Equal(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i]&1 != b[i]&1 {
+			return false
+		}
+	}
+	return true
+}

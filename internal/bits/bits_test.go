@@ -1,0 +1,205 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnpackPackLSBRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		b := UnpackLSB(data)
+		back, err := PackLSB(b)
+		if err != nil {
+			return false
+		}
+		if len(back) != len(data) {
+			return false
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackPackMSBRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		b := UnpackMSB(data)
+		back, err := PackMSB(b)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if back[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnpackLSBKnown(t *testing.T) {
+	got := UnpackLSB([]byte{0xB1}) // 1011_0001 -> LSB first: 1,0,0,0,1,1,0,1
+	want := []byte{1, 0, 0, 0, 1, 1, 0, 1}
+	if !Equal(got, want) {
+		t.Fatalf("UnpackLSB(0xB1) = %v, want %v", got, want)
+	}
+}
+
+func TestUnpackMSBKnown(t *testing.T) {
+	got := UnpackMSB([]byte{0xB1})
+	want := []byte{1, 0, 1, 1, 0, 0, 0, 1}
+	if !Equal(got, want) {
+		t.Fatalf("UnpackMSB(0xB1) = %v, want %v", got, want)
+	}
+}
+
+func TestPackLSBErrors(t *testing.T) {
+	if _, err := PackLSB(make([]byte, 7)); err == nil {
+		t.Error("PackLSB accepted length 7")
+	}
+	if _, err := PackLSB([]byte{0, 1, 2, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("PackLSB accepted a non-bit element")
+	}
+	if _, err := PackMSB(make([]byte, 3)); err == nil {
+		t.Error("PackMSB accepted length 3")
+	}
+}
+
+func TestUintLSBRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(64)
+		v := rng.Uint64()
+		if n < 64 {
+			v &= (1 << n) - 1
+		}
+		buf := make([]byte, n)
+		PutUintLSB(buf, v, n)
+		if got := UintLSB(buf, n); got != v {
+			t.Fatalf("round trip n=%d: got %#x want %#x", n, got, v)
+		}
+	}
+}
+
+func TestXorHamming(t *testing.T) {
+	a := []byte{1, 0, 1, 1, 0}
+	b := []byte{1, 1, 0, 1, 0}
+	x := Xor(a, b)
+	if !Equal(x, []byte{0, 1, 1, 0, 0}) {
+		t.Fatalf("Xor = %v", x)
+	}
+	if d := HammingDistance(a, b); d != 2 {
+		t.Fatalf("HammingDistance = %d, want 2", d)
+	}
+	if w := Weight(x); w != 2 {
+		t.Fatalf("Weight = %d, want 2", w)
+	}
+}
+
+func TestRepeatMajorityRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		in := make([]byte, len(data))
+		for i := range data {
+			in[i] = data[i] & 1
+		}
+		enc := Repeat(in, 3)
+		dec, err := MajorityDecode(enc, 3)
+		return err == nil && Equal(dec, in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMajorityDecodeCorrectsSingleError(t *testing.T) {
+	in := []byte{1, 0, 1, 1, 0, 0, 1}
+	enc := Repeat(in, 3)
+	// Flip one bit in each group; majority vote must still recover.
+	for g := range in {
+		enc[g*3+g%3] ^= 1
+	}
+	dec, err := MajorityDecode(enc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(dec, in) {
+		t.Fatalf("decode with single errors = %v, want %v", dec, in)
+	}
+}
+
+func TestMajorityDecodeErrors(t *testing.T) {
+	if _, err := MajorityDecode(make([]byte, 6), 2); err == nil {
+		t.Error("accepted even n")
+	}
+	if _, err := MajorityDecode(make([]byte, 7), 3); err == nil {
+		t.Error("accepted misaligned length")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	if got := Reverse([]byte{1, 0, 0}); !Equal(got, []byte{0, 0, 1}) {
+		t.Fatalf("Reverse = %v", got)
+	}
+}
+
+func TestReaderWriter(t *testing.T) {
+	w := NewWriter()
+	w.Uint(0xA5, 8).Bits([]byte{1, 0, 1}).Bytes([]byte{0x12, 0x34}).Uint(5, 3)
+	r := NewReader(w.BitSlice())
+	if v := r.Uint(8); v != 0xA5 {
+		t.Fatalf("Uint(8) = %#x", v)
+	}
+	if b := r.Bits(3); !Equal(b, []byte{1, 0, 1}) {
+		t.Fatalf("Bits(3) = %v", b)
+	}
+	if by := r.Bytes(2); by[0] != 0x12 || by[1] != 0x34 {
+		t.Fatalf("Bytes(2) = %x", by)
+	}
+	if v := r.Uint(3); v != 5 {
+		t.Fatalf("Uint(3) = %d", v)
+	}
+	if r.Err() != nil {
+		t.Fatalf("unexpected error: %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", r.Remaining())
+	}
+	r.Uint(1)
+	if r.Err() == nil {
+		t.Fatal("read past end did not error")
+	}
+}
+
+func TestCRCCCITTKnownVector(t *testing.T) {
+	// CRC-16-CCITT (x^16+x^12+x^5+1), init 0xFFFF over "123456789"
+	// MSB-first bit order gives the classic check value 0x29B1.
+	c := CRC{Width: 16, Poly: 0x1021, Init: 0xFFFF}
+	got := c.Compute(UnpackMSB([]byte("123456789")))
+	if got != 0x29B1 {
+		t.Fatalf("CRC-CCITT check = %#04x, want 0x29B1", got)
+	}
+}
+
+func TestCRCResidueZero(t *testing.T) {
+	// Appending the remainder (MSB first) must leave residue 0 for Init=0.
+	c := CRC{Width: 16, Poly: 0x1021, Init: 0}
+	msg := UnpackMSB([]byte{0xDE, 0xAD, 0xBE, 0xEF})
+	rem := c.Compute(msg)
+	full := append(Clone(msg), make([]byte, 16)...)
+	for i := 0; i < 16; i++ {
+		full[len(msg)+i] = byte(rem>>(15-i)) & 1
+	}
+	if !c.Check(full, 0) {
+		t.Fatal("residue after appending remainder is nonzero")
+	}
+}

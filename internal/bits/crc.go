@@ -1,0 +1,39 @@
+package bits
+
+// CRC implements a generic bit-serial cyclic redundancy check over bit
+// slices. Both the 802.11 and Bluetooth stacks feed CRCs bit-by-bit in
+// transmission order, so a bit-serial engine matches the specs directly and
+// sidesteps reflection-convention bugs that table-driven byte engines
+// invite.
+//
+// The register is Width bits; Poly omits the implicit x^Width term and is
+// written with its x^0 coefficient in bit 0. Bits are shifted in MSB-of-
+// register first (the textbook LFSR division circuit).
+type CRC struct {
+	Width int    // register width in bits (8, 16, 24, ...)
+	Poly  uint64 // generator polynomial without the leading term
+	Init  uint64 // initial register contents
+}
+
+// Compute runs the register over the bit slice and returns the final
+// remainder. Bit 0 of the result is the x^0 coefficient.
+func (c CRC) Compute(bitstream []byte) uint64 {
+	reg := c.Init
+	top := uint64(1) << (c.Width - 1)
+	mask := (top << 1) - 1
+	for _, b := range bitstream {
+		fb := ((reg >> (c.Width - 1)) & 1) ^ uint64(b&1)
+		reg = (reg << 1) & mask
+		if fb == 1 {
+			reg ^= c.Poly
+		}
+	}
+	return reg & mask
+}
+
+// Check reports whether the bit stream followed by the transmitted check
+// bits leaves the register equal to want (usually zero for systematic
+// codes appended in the right order).
+func (c CRC) Check(bitstream []byte, want uint64) bool {
+	return c.Compute(bitstream) == want
+}

@@ -1,0 +1,103 @@
+package bits
+
+import "fmt"
+
+// Reader walks a bit slice, decoding fixed-width fields. It records the
+// first error and turns subsequent reads into no-ops, so decoders can chain
+// reads and check the error once at the end.
+type Reader struct {
+	bits []byte
+	pos  int
+	err  error
+}
+
+// NewReader returns a Reader over the given bit slice.
+func NewReader(b []byte) *Reader { return &Reader{bits: b} }
+
+// Err returns the first error encountered, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Pos returns the current bit offset.
+func (r *Reader) Pos() int { return r.pos }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int { return len(r.bits) - r.pos }
+
+// Uint reads an n-bit little-endian (LSB-first) unsigned integer.
+func (r *Reader) Uint(n int) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if n > 64 || r.Remaining() < n {
+		r.err = fmt.Errorf("bits: read of %d bits at offset %d exceeds %d available", n, r.pos, len(r.bits))
+		return 0
+	}
+	v := UintLSB(r.bits[r.pos:], n)
+	r.pos += n
+	return v
+}
+
+// Bits reads n raw bits.
+func (r *Reader) Bits(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.Remaining() < n {
+		r.err = fmt.Errorf("bits: read of %d bits at offset %d exceeds %d available", n, r.pos, len(r.bits))
+		return nil
+	}
+	out := Clone(r.bits[r.pos : r.pos+n])
+	r.pos += n
+	return out
+}
+
+// Bytes reads n bytes (8n bits, LSB-first per byte).
+func (r *Reader) Bytes(n int) []byte {
+	raw := r.Bits(n * 8)
+	if r.err != nil {
+		return nil
+	}
+	out, err := PackLSB(raw)
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	return out
+}
+
+// Writer builds a bit slice from fixed-width fields.
+type Writer struct {
+	bits []byte
+}
+
+// NewWriter returns an empty Writer. The zero value is also ready to use.
+func NewWriter() *Writer { return &Writer{} }
+
+// Uint appends the n low bits of v, LSB first.
+func (w *Writer) Uint(v uint64, n int) *Writer {
+	for i := 0; i < n; i++ {
+		w.bits = append(w.bits, byte(v>>i)&1)
+	}
+	return w
+}
+
+// Bits appends raw bits.
+func (w *Writer) Bits(b []byte) *Writer {
+	for _, x := range b {
+		w.bits = append(w.bits, x&1)
+	}
+	return w
+}
+
+// Bytes appends whole bytes, LSB-first per byte.
+func (w *Writer) Bytes(b []byte) *Writer {
+	w.bits = append(w.bits, UnpackLSB(b)...)
+	return w
+}
+
+// Len returns the number of bits written so far.
+func (w *Writer) Len() int { return len(w.bits) }
+
+// BitSlice returns the accumulated bits. The returned slice aliases the
+// writer's buffer; callers that keep writing should Clone it.
+func (w *Writer) BitSlice() []byte { return w.bits }

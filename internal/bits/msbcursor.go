@@ -1,0 +1,77 @@
+package bits
+
+import "fmt"
+
+// MSBWriter builds a byte-oriented bitstream with fields packed most-
+// significant-bit first — the convention of codec bitstreams such as SBC.
+type MSBWriter struct {
+	bits []byte
+}
+
+// NewMSBWriter returns an empty writer; the zero value is also usable.
+func NewMSBWriter() *MSBWriter { return &MSBWriter{} }
+
+// Uint appends the n low bits of v, most significant first.
+func (w *MSBWriter) Uint(v uint64, n int) *MSBWriter {
+	for i := n - 1; i >= 0; i-- {
+		w.bits = append(w.bits, byte(v>>uint(i))&1)
+	}
+	return w
+}
+
+// Len returns the number of bits written.
+func (w *MSBWriter) Len() int { return len(w.bits) }
+
+// BitSlice returns the accumulated bits (aliases the internal buffer).
+func (w *MSBWriter) BitSlice() []byte { return w.bits }
+
+// Bytes pads to a byte boundary with zeros and packs MSB-first.
+func (w *MSBWriter) Bytes() ([]byte, error) {
+	padded := w.bits
+	for len(padded)%8 != 0 {
+		padded = append(padded, 0)
+	}
+	return PackMSB(padded)
+}
+
+// MSBReader walks a byte slice reading MSB-first fields.
+type MSBReader struct {
+	bits []byte
+	pos  int
+	err  error
+}
+
+// NewMSBReader builds a reader over the bytes.
+func NewMSBReader(data []byte) *MSBReader {
+	return &MSBReader{bits: UnpackMSB(data)}
+}
+
+// Err returns the first error encountered.
+func (r *MSBReader) Err() error { return r.err }
+
+// Pos returns the bit offset.
+func (r *MSBReader) Pos() int { return r.pos }
+
+// Remaining returns unread bits.
+func (r *MSBReader) Remaining() int { return len(r.bits) - r.pos }
+
+// Uint reads an n-bit MSB-first unsigned integer.
+func (r *MSBReader) Uint(n int) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if n > 64 || r.Remaining() < n {
+		r.err = fmt.Errorf("bits: MSB read of %d bits at offset %d exceeds %d available", n, r.pos, len(r.bits))
+		return 0
+	}
+	var v uint64
+	for i := 0; i < n; i++ {
+		v = v<<1 | uint64(r.bits[r.pos+i]&1)
+	}
+	r.pos += n
+	return v
+}
+
+// BitsRead returns the raw bits consumed so far (for CRC computations
+// over a prefix of the stream).
+func (r *MSBReader) BitsRead() []byte { return Clone(r.bits[:r.pos]) }

@@ -1,0 +1,107 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSBWriterReaderRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		type field struct {
+			v uint64
+			n int
+		}
+		var fields []field
+		w := NewMSBWriter()
+		total := 0
+		for total < 200 {
+			n := 1 + rng.Intn(24)
+			v := rng.Uint64() & ((1 << n) - 1)
+			fields = append(fields, field{v, n})
+			w.Uint(v, n)
+			total += n
+		}
+		if w.Len() != total {
+			t.Fatalf("Len %d, want %d", w.Len(), total)
+		}
+		data, err := w.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewMSBReader(data)
+		for i, f := range fields {
+			if got := r.Uint(f.n); got != f.v {
+				t.Fatalf("trial %d field %d: got %#x want %#x", trial, i, got, f.v)
+			}
+		}
+		if r.Err() != nil {
+			t.Fatal(r.Err())
+		}
+	}
+}
+
+func TestMSBWriterBitOrder(t *testing.T) {
+	w := NewMSBWriter()
+	w.Uint(0x9C, 8).Uint(0b101, 3).Uint(0b01, 2)
+	data, err := w.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1001_1100 101_01_000 → 0x9C, 0xA8.
+	if data[0] != 0x9C || data[1] != 0xA8 {
+		t.Fatalf("bytes % x, want 9c a8", data)
+	}
+}
+
+func TestMSBReaderErrors(t *testing.T) {
+	r := NewMSBReader([]byte{0xFF})
+	r.Uint(8)
+	if r.Remaining() != 0 || r.Pos() != 8 {
+		t.Fatalf("pos %d remaining %d", r.Pos(), r.Remaining())
+	}
+	r.Uint(1)
+	if r.Err() == nil {
+		t.Fatal("read past end not flagged")
+	}
+	if r.Uint(1) != 0 {
+		t.Fatal("post-error read not zero")
+	}
+	if NewMSBReader(nil).Uint(65) != 0 {
+		t.Fatal("65-bit read should fail")
+	}
+}
+
+func TestMSBReaderBitsRead(t *testing.T) {
+	r := NewMSBReader([]byte{0xB1, 0x00})
+	r.Uint(4)
+	got := r.BitsRead()
+	if !Equal(got, []byte{1, 0, 1, 1}) {
+		t.Fatalf("BitsRead = %v", got)
+	}
+}
+
+func TestMSBAgainstLSBWriterProperty(t *testing.T) {
+	// Writing whole bytes must agree between the two conventions after
+	// packing with the matching packer.
+	f := func(data []byte) bool {
+		w := NewMSBWriter()
+		for _, b := range data {
+			w.Uint(uint64(b), 8)
+		}
+		packed, err := w.Bytes()
+		if err != nil || len(packed) != len(data) {
+			return false
+		}
+		for i := range data {
+			if packed[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

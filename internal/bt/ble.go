@@ -1,0 +1,169 @@
+package bt
+
+import (
+	"fmt"
+
+	"bluefi/internal/bits"
+)
+
+// Bluetooth Low Energy advertising physical channel (spec Vol 6 Part B):
+// the packet format BlueFi beacons use. BLE LE 1M shares the 1 Mb/s GFSK
+// air interface with BR, with a larger frequency deviation (±250 kHz
+// nominal, modulation index 0.5).
+
+// AdvAccessAddress is the fixed access address of advertising channels.
+const AdvAccessAddress = uint32(0x8E89BED5)
+
+// Advertising channel indices and their center frequencies.
+var (
+	AdvChannels    = []int{37, 38, 39}
+	advChannelFreq = map[int]float64{37: 2402, 38: 2426, 39: 2480}
+)
+
+// BLEChannelMHz returns the center frequency of a BLE channel index
+// (0–39; 37–39 are the advertising channels at 2402/2426/2480 MHz, data
+// channels interleave between them).
+func BLEChannelMHz(idx int) (float64, error) {
+	if f, ok := advChannelFreq[idx]; ok {
+		return f, nil
+	}
+	if idx < 0 || idx > 39 {
+		return 0, fmt.Errorf("bt: BLE channel %d out of range", idx)
+	}
+	// Data channels 0–10 occupy 2404–2424, 11–36 occupy 2428–2478.
+	if idx <= 10 {
+		return 2404 + 2*float64(idx), nil
+	}
+	return 2428 + 2*float64(idx-11), nil
+}
+
+// AdvPDUType is the 4-bit advertising PDU type.
+type AdvPDUType uint8
+
+// Advertising PDU types relevant to beacons.
+const (
+	AdvInd        AdvPDUType = 0x0
+	AdvNonconnInd AdvPDUType = 0x2
+	AdvScanInd    AdvPDUType = 0x6
+)
+
+// Advertisement is a BLE advertising packet on one of the three
+// advertising channels.
+type Advertisement struct {
+	PDUType AdvPDUType
+	AdvA    [6]byte // advertiser address, little-endian air order
+	Data    []byte  // AD structures, ≤ 31 bytes
+	TxAdd   bool    // random (true) vs public address
+}
+
+// crc24 computes the BLE CRC (polynomial x²⁴+x¹⁰+x⁹+x⁶+x⁴+x³+x+1,
+// initialized per-link; 0x555555 on advertising channels), returned as 24
+// air-order bits (LSB of the register first per the spec's serial
+// circuit, which shifts b0 in first).
+func crc24(stream []byte, init uint32) []byte {
+	// The BLE CRC register shifts data LSB-first with taps at positions
+	// 0,1,3,4,6,9,10 feeding back from position 23.
+	reg := init & 0xFFFFFF
+	for _, b := range stream {
+		fb := (reg >> 23 & 1) ^ uint32(b&1)
+		reg = (reg << 1) & 0xFFFFFF
+		if fb == 1 {
+			reg ^= 0x00065B
+		}
+	}
+	out := make([]byte, 24)
+	for i := 0; i < 24; i++ {
+		out[i] = byte(reg>>(23-i)) & 1
+	}
+	return out
+}
+
+// bleWhitener returns the BLE whitening LFSR sequence generator for a
+// channel index: polynomial x⁷+x⁴+1 with the register initialized to
+// 1 followed by the 6-bit channel index (spec §3.2).
+func bleWhitener(channel int) *Whitener {
+	return &Whitener{state: 0x40 | uint8(channel&0x3F)}
+}
+
+// AirBits assembles the full over-the-air advertising packet for a given
+// advertising channel index: preamble (8 bits), access address (32),
+// whitened PDU and CRC.
+func (a *Advertisement) AirBits(channel int) ([]byte, error) {
+	if len(a.Data) > 31 {
+		return nil, fmt.Errorf("bt: advertising data %d bytes exceeds 31", len(a.Data))
+	}
+	isAdv := false
+	for _, c := range AdvChannels {
+		if channel == c {
+			isAdv = true
+		}
+	}
+	if !isAdv {
+		return nil, fmt.Errorf("bt: channel %d is not an advertising channel", channel)
+	}
+
+	// PDU: header (type 4, RFU 1, ChSel 1, TxAdd 1, RxAdd 1, length 8)
+	// then AdvA + AdvData.
+	w := bits.NewWriter()
+	w.Uint(uint64(a.PDUType), 4)
+	w.Uint(0, 1) // RFU
+	w.Uint(0, 1) // ChSel
+	tx := uint64(0)
+	if a.TxAdd {
+		tx = 1
+	}
+	w.Uint(tx, 1)
+	w.Uint(0, 1) // RxAdd
+	w.Uint(uint64(6+len(a.Data)), 8)
+	w.Bytes(a.AdvA[:])
+	w.Bytes(a.Data)
+	pdu := bits.Clone(w.BitSlice())
+	crc := crc24(pdu, 0x555555)
+
+	body := append(pdu, crc...)
+	bleWhitener(channel).Whiten(body)
+
+	out := bits.NewWriter()
+	// Preamble: alternating sequence whose first bit equals the access
+	// address LSB (0x8E89BED5 LSB = 1 → 10101010 air order = 0x55
+	// pattern starting with 1).
+	aaLSB := byte(AdvAccessAddress & 1)
+	for i := 0; i < 8; i++ {
+		out.Uint(uint64(aaLSB^byte(i&1)), 1)
+	}
+	out.Uint(uint64(AdvAccessAddress), 32)
+	out.Bits(body)
+	return out.BitSlice(), nil
+}
+
+// DecodeAdvertisement parses bits following the access address (whitened
+// PDU+CRC) for a channel. It returns the PDU fields and whether the CRC
+// checked out.
+func DecodeAdvertisement(stream []byte, channel int) (*Advertisement, bool) {
+	if len(stream) < 16 {
+		return nil, false
+	}
+	dewhitened := bleWhitener(channel).Whiten(bits.Clone(stream))
+	r := bits.NewReader(dewhitened)
+	pduType := AdvPDUType(r.Uint(4))
+	r.Uint(2)
+	txAdd := r.Uint(1) == 1
+	r.Uint(1)
+	length := int(r.Uint(8))
+	if r.Err() != nil || length < 6 || length > 37 || r.Remaining() < 8*length+24 {
+		return nil, false
+	}
+	pduEnd := 16 + 8*length
+	payload := r.Bytes(length)
+	crc := r.Bits(24)
+	if r.Err() != nil {
+		return nil, false
+	}
+	if !bits.Equal(crc24(dewhitened[:pduEnd], 0x555555), crc) {
+		return nil, false
+	}
+	adv := &Advertisement{PDUType: pduType, TxAdd: txAdd}
+	copy(adv.AdvA[:], payload[:6])
+	adv.Data = payload[6:]
+	return adv, true
+}

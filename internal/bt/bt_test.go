@@ -1,0 +1,501 @@
+package bt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bluefi/internal/bits"
+)
+
+func randBits(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(2))
+	}
+	return out
+}
+
+func TestHECDetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	hdr := randBits(rng, 10)
+	hec := HEC(hdr, 0x47)
+	if !CheckHEC(hdr, hec, 0x47) {
+		t.Fatal("clean header failed HEC")
+	}
+	for i := 0; i < 10; i++ {
+		bad := bits.Clone(hdr)
+		bad[i] ^= 1
+		if CheckHEC(bad, hec, 0x47) {
+			t.Fatalf("flip of header bit %d undetected", i)
+		}
+	}
+	if CheckHEC(hdr, hec, 0x48) {
+		t.Fatal("wrong UAP accepted")
+	}
+}
+
+func TestCRC16DetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	payload := randBits(rng, 200)
+	crc := CRC16(payload, 0x11)
+	if !CheckCRC16(payload, crc, 0x11) {
+		t.Fatal("clean payload failed CRC")
+	}
+	for trial := 0; trial < 50; trial++ {
+		bad := bits.Clone(payload)
+		bad[rng.Intn(len(bad))] ^= 1
+		if CheckCRC16(bad, crc, 0x11) {
+			t.Fatal("single-bit corruption undetected")
+		}
+	}
+}
+
+func TestWhitenIsInvolution(t *testing.T) {
+	f := func(data []byte, clk uint32) bool {
+		in := make([]byte, len(data))
+		for i := range data {
+			in[i] = data[i] & 1
+		}
+		w1 := NewWhitener(clk)
+		once := w1.Whiten(bits.Clone(in))
+		w2 := NewWhitener(clk)
+		twice := w2.Whiten(once)
+		return bits.Equal(twice, in)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhitenerDependsOnClock(t *testing.T) {
+	a := NewWhitener(0x00).Whiten(make([]byte, 64))
+	b := NewWhitener(0x3E).Whiten(make([]byte, 64))
+	if bits.Equal(a, b) {
+		t.Fatal("different clocks produced the same whitening")
+	}
+}
+
+func TestFEC23RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 * (1 + rng.Intn(30))
+		in := randBits(rng, n)
+		enc := FEC23Encode(in)
+		if len(enc) != n/10*15 {
+			t.Fatalf("encoded %d bits, want %d", len(enc), n/10*15)
+		}
+		dec, corrected, failed := FEC23Decode(enc)
+		if corrected != 0 || failed != 0 {
+			t.Fatalf("clean decode reported %d corrected, %d failed", corrected, failed)
+		}
+		if !bits.Equal(dec, in) {
+			t.Fatal("round trip failed")
+		}
+	}
+}
+
+func TestFEC23CorrectsSingleErrorPerBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := randBits(rng, 100)
+	enc := FEC23Encode(in)
+	for b := 0; b < len(enc)/15; b++ {
+		enc[b*15+rng.Intn(15)] ^= 1
+	}
+	dec, corrected, failed := FEC23Decode(enc)
+	if failed != 0 {
+		t.Fatalf("%d blocks failed", failed)
+	}
+	if corrected != len(enc)/15 {
+		t.Fatalf("corrected %d, want %d", corrected, len(enc)/15)
+	}
+	if !bits.Equal(dec, in) {
+		t.Fatal("errors not corrected")
+	}
+}
+
+func TestFEC23SingleErrorSyndromesDistinct(t *testing.T) {
+	// The (15,10) code must have 15 distinct nonzero single-error
+	// syndromes for the correction table to work.
+	base := FEC23Encode(make([]byte, 10))
+	syndromes := map[string]bool{}
+	for p := 0; p < 15; p++ {
+		blk := bits.Clone(base)
+		blk[p] ^= 1
+		dec, corrected, failed := FEC23Decode(blk)
+		if failed != 0 || corrected != 1 {
+			t.Fatalf("position %d: corrected=%d failed=%d", p, corrected, failed)
+		}
+		if !bits.Equal(dec, make([]byte, 10)) {
+			t.Fatalf("position %d mis-corrected", p)
+		}
+		syndromes[string(blk)] = true
+	}
+	if len(syndromes) != 15 {
+		t.Fatal("corrupted blocks not distinct")
+	}
+}
+
+func TestSyncWordProperties(t *testing.T) {
+	sw, err := SyncWord(GIAC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SyncWordValid(sw) {
+		t.Fatal("GIAC sync word fails its own validity check")
+	}
+	lap, ok := LAPFromSyncWord(sw)
+	if !ok || lap != GIAC {
+		t.Fatalf("LAP round trip: %#x, ok=%v", lap, ok)
+	}
+	if _, err := SyncWord(0x1000000); err == nil {
+		t.Error("accepted 25-bit LAP")
+	}
+}
+
+func TestSyncWordsWellSeparated(t *testing.T) {
+	// BCH(64,30) has minimum distance 14; different LAPs must give sync
+	// words at Hamming distance ≥ 14.
+	rng := rand.New(rand.NewSource(5))
+	laps := []uint32{0x000000, 0xFFFFFF, GIAC}
+	for i := 0; i < 20; i++ {
+		laps = append(laps, rng.Uint32()&0xFFFFFF)
+	}
+	for i := 0; i < len(laps); i++ {
+		for j := i + 1; j < len(laps); j++ {
+			if laps[i] == laps[j] {
+				continue
+			}
+			a, _ := SyncWord(laps[i])
+			b, _ := SyncWord(laps[j])
+			d := 0
+			for x := a ^ b; x != 0; x &= x - 1 {
+				d++
+			}
+			if d < 14 {
+				t.Fatalf("LAPs %#x,%#x: sync distance %d < 14", laps[i], laps[j], d)
+			}
+		}
+	}
+}
+
+func TestAccessCodeStructure(t *testing.T) {
+	ac, err := AccessCode(GIAC, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ac) != 72 {
+		t.Fatalf("access code %d bits, want 72", len(ac))
+	}
+	// Preamble alternates and differs from the sync word's first bit at
+	// its last position... the rule: preamble[3] != sync[0] is false;
+	// spec: preamble = 0101 when sync LSB = 1 so preamble[3] == sync[0].
+	sw, _ := SyncWord(GIAC)
+	sb := SyncWordBits(sw)
+	if sb[0] == 1 {
+		if ac[0] != 0 || ac[1] != 1 || ac[2] != 0 || ac[3] != 1 {
+			t.Fatal("preamble not 0101 for sync LSB 1")
+		}
+	} else {
+		if ac[0] != 1 || ac[1] != 0 || ac[2] != 1 || ac[3] != 0 {
+			t.Fatal("preamble not 1010 for sync LSB 0")
+		}
+	}
+	for i := 0; i < 64; i++ {
+		if ac[4+i] != sb[i] {
+			t.Fatal("sync word not embedded verbatim")
+		}
+	}
+	short, _ := AccessCode(GIAC, false)
+	if len(short) != 68 {
+		t.Fatalf("trailerless access code %d bits, want 68", len(short))
+	}
+}
+
+func TestPacketRoundTripAllTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	dev := Device{LAP: 0x123456, UAP: 0x9A}
+	for _, pt := range []PacketType{DM1, DH1, DM3, DH3, DM5, DH5} {
+		for trial := 0; trial < 5; trial++ {
+			payload := make([]byte, 1+rng.Intn(pt.MaxPayload()))
+			rng.Read(payload)
+			pkt := &Packet{Type: pt, LTAddr: 1, SEQN: byte(trial & 1), Payload: payload, Clock: uint32(trial * 2)}
+			air, err := pkt.AirBits(dev)
+			if err != nil {
+				t.Fatalf("%v: %v", pt, err)
+			}
+			if len(air) > pt.Slots()*SlotBits {
+				t.Fatalf("%v exceeds slot budget", pt)
+			}
+			res := DecodeAirBits(air[72:], dev, pkt.Clock)
+			if !res.OK {
+				t.Fatalf("%v: decode failed: %+v", pt, res)
+			}
+			if res.Type != pt || res.LTAddr != 1 {
+				t.Fatalf("%v: header fields wrong: %+v", pt, res)
+			}
+			if string(res.Payload) != string(payload) {
+				t.Fatalf("%v: payload corrupted", pt)
+			}
+		}
+	}
+}
+
+func TestPacketHeaderSurvivesBitErrors(t *testing.T) {
+	// The 1/3 repetition FEC must absorb one flip per header triple.
+	dev := Device{LAP: 0x9E8B33, UAP: 0x00}
+	pkt := &Packet{Type: DH1, LTAddr: 2, Payload: []byte("hi"), Clock: 4}
+	air, err := pkt.AirBits(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := bits.Clone(air[72:])
+	for g := 0; g < 18; g++ {
+		stream[g*3] ^= 1 // one error in each repetition triple
+	}
+	res := DecodeAirBits(stream, dev, 4)
+	if !res.OK {
+		t.Fatalf("header FEC failed to correct: %+v", res)
+	}
+}
+
+func TestPacketCRCErrorDetected(t *testing.T) {
+	dev := Device{LAP: 0x9E8B33, UAP: 0x31}
+	pkt := &Packet{Type: DH3, LTAddr: 1, Payload: make([]byte, 100), Clock: 8}
+	air, _ := pkt.AirBits(dev)
+	stream := bits.Clone(air[72:])
+	stream[54+200] ^= 1 // corrupt payload body
+	res := DecodeAirBits(stream, dev, 8)
+	if res.OK || res.HeaderError {
+		t.Fatalf("expected CRC error, got %+v", res)
+	}
+	if !res.CRCError {
+		t.Fatal("CRC error not flagged")
+	}
+}
+
+func TestPacketRejectsOversizedPayload(t *testing.T) {
+	dev := Device{LAP: 1, UAP: 2}
+	pkt := &Packet{Type: DH1, Payload: make([]byte, 28)}
+	if _, err := pkt.AirBits(dev); err == nil {
+		t.Error("accepted oversized DH1 payload")
+	}
+	pkt2 := &Packet{Type: DH5, LTAddr: 9}
+	if _, err := pkt2.AirBits(dev); err == nil {
+		t.Error("accepted 4-bit LT_ADDR")
+	}
+}
+
+func TestClockSlots(t *testing.T) {
+	var c Clock
+	if !c.IsMasterTxSlot() {
+		t.Fatal("clock 0 should be a master TX slot")
+	}
+	c2 := c.Advance(3)
+	if c2 != 6 {
+		t.Fatalf("Advance(3) = %d, want 6", c2)
+	}
+	if c2.Slot() != 3 {
+		t.Fatalf("slot = %d", c2.Slot())
+	}
+	if Clock(2).Time() != SlotDuration {
+		t.Fatal("2 ticks != one slot")
+	}
+	if ClockAt(SlotDuration*5) != 10 {
+		t.Fatalf("ClockAt = %d", ClockAt(SlotDuration*5))
+	}
+	// 28-bit wraparound.
+	if Clock(ClockMask).Advance(1) != 1 {
+		t.Fatalf("wraparound: %d", Clock(ClockMask).Advance(1))
+	}
+}
+
+func TestHopSelectorDeterministicAndInRange(t *testing.T) {
+	h := NewHopSelector(Device{LAP: 0x123456, UAP: 0x9A})
+	for clk := Clock(0); clk < 4000; clk = clk.Advance(1) {
+		ch := h.Channel(clk)
+		if ch < 0 || ch >= NumChannels {
+			t.Fatalf("channel %d out of range", ch)
+		}
+		if ch != h.Channel(clk) {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestHopSelectorUsesManyChannels(t *testing.T) {
+	h := NewHopSelector(Device{LAP: 0x9E8B33, UAP: 0x47})
+	used := map[int]int{}
+	n := 79 * 64
+	for i := 0; i < n; i++ {
+		used[h.Channel(Clock(0).Advance(i))]++
+	}
+	if len(used) < 70 {
+		t.Fatalf("only %d distinct channels over %d hops", len(used), n)
+	}
+	// No channel should dominate: max share under 8%.
+	for ch, cnt := range used {
+		if float64(cnt)/float64(n) > 0.08 {
+			t.Fatalf("channel %d used %d/%d times", ch, cnt, n)
+		}
+	}
+}
+
+func TestHopSelectorsDifferAcrossDevices(t *testing.T) {
+	h1 := NewHopSelector(Device{LAP: 0x111111, UAP: 0x01})
+	h2 := NewHopSelector(Device{LAP: 0x222222, UAP: 0x02})
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if h1.Channel(Clock(0).Advance(i)) == h2.Channel(Clock(0).Advance(i)) {
+			same++
+		}
+	}
+	if same > 200 { // expect ≈ 1000/79 ≈ 13 collisions
+		t.Fatalf("%d/1000 identical hops across devices", same)
+	}
+}
+
+func TestPerm5IsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		ctrl := rng.Uint32() & 0x3FFF
+		seen := map[uint32]bool{}
+		for z := uint32(0); z < 32; z++ {
+			out := perm5(z, ctrl)
+			if out > 31 || seen[out] {
+				t.Fatalf("ctrl %#x: not a permutation", ctrl)
+			}
+			seen[out] = true
+		}
+	}
+}
+
+func TestAFHMap(t *testing.T) {
+	m, err := NewAFHMap([]int{10, 11, 12, 13, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 5 {
+		t.Fatalf("size %d", m.Size())
+	}
+	if m.Remap(12) != 12 {
+		t.Fatal("allowed channel remapped")
+	}
+	for ch := 0; ch < NumChannels; ch++ {
+		r := m.Remap(ch)
+		if !m.Allowed(r) {
+			t.Fatalf("remap(%d) = %d not in allowed set", ch, r)
+		}
+	}
+	if _, err := NewAFHMap(nil); err == nil {
+		t.Error("accepted empty map")
+	}
+	if _, err := NewAFHMap([]int{5, 5}); err == nil {
+		t.Error("accepted duplicate channel")
+	}
+	if _, err := NewAFHMap([]int{99}); err == nil {
+		t.Error("accepted out-of-range channel")
+	}
+}
+
+func TestChannelsInWiFiBand(t *testing.T) {
+	// WiFi channel 3 (2422 MHz): Bluetooth channels with ±0.6 MHz margin
+	// inside 2412–2432 → channels 2412.6–2431.4 → indices 11…29.
+	chs := ChannelsInWiFiBand(2422, 0.6)
+	if len(chs) == 0 {
+		t.Fatal("no channels found")
+	}
+	if chs[0] != 11 || chs[len(chs)-1] != 29 {
+		t.Fatalf("range %d–%d, want 11–29", chs[0], chs[len(chs)-1])
+	}
+	if len(chs) != 19 {
+		t.Fatalf("%d channels, want 19", len(chs))
+	}
+}
+
+func TestBLEChannelFrequencies(t *testing.T) {
+	cases := map[int]float64{37: 2402, 38: 2426, 39: 2480, 0: 2404, 10: 2424, 11: 2428, 36: 2478}
+	for idx, want := range cases {
+		got, err := BLEChannelMHz(idx)
+		if err != nil || got != want {
+			t.Errorf("channel %d = %g (err %v), want %g", idx, got, err, want)
+		}
+	}
+	if _, err := BLEChannelMHz(40); err == nil {
+		t.Error("accepted channel 40")
+	}
+}
+
+func TestAdvertisementRoundTrip(t *testing.T) {
+	adv := &Advertisement{
+		PDUType: AdvNonconnInd,
+		AdvA:    [6]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0xC6},
+		Data:    []byte{0x02, 0x01, 0x06, 0x03, 0x03, 0xAA, 0xFE},
+		TxAdd:   true,
+	}
+	for _, ch := range AdvChannels {
+		air, err := adv.AirBits(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Preamble(8) + AA(32) + header(16) + payload + CRC(24).
+		want := 8 + 32 + 16 + 8*(6+len(adv.Data)) + 24
+		if len(air) != want {
+			t.Fatalf("air bits %d, want %d", len(air), want)
+		}
+		got, ok := DecodeAdvertisement(air[40:], ch)
+		if !ok {
+			t.Fatalf("channel %d: decode failed", ch)
+		}
+		if got.PDUType != adv.PDUType || got.AdvA != adv.AdvA || string(got.Data) != string(adv.Data) || !got.TxAdd {
+			t.Fatalf("channel %d: fields corrupted: %+v", ch, got)
+		}
+	}
+}
+
+func TestAdvertisementCRCCatchesCorruption(t *testing.T) {
+	adv := &Advertisement{PDUType: AdvNonconnInd, AdvA: [6]byte{1, 2, 3, 4, 5, 6}, Data: []byte{0x02, 0x01, 0x06}}
+	air, _ := adv.AirBits(37)
+	stream := bits.Clone(air[40:])
+	stream[30] ^= 1
+	if _, ok := DecodeAdvertisement(stream, 37); ok {
+		t.Fatal("corrupted advertisement accepted")
+	}
+	// Wrong channel whitening must also fail.
+	if _, ok := DecodeAdvertisement(bits.Clone(air[40:]), 38); ok {
+		t.Fatal("wrong-channel dewhitening accepted")
+	}
+}
+
+func TestAdvertisementValidation(t *testing.T) {
+	adv := &Advertisement{PDUType: AdvInd, Data: make([]byte, 32)}
+	if _, err := adv.AirBits(37); err == nil {
+		t.Error("accepted 32-byte adv data")
+	}
+	adv2 := &Advertisement{PDUType: AdvInd}
+	if _, err := adv2.AirBits(5); err == nil {
+		t.Error("accepted non-advertising channel")
+	}
+}
+
+func TestAccessCodeCorrelatesOnlyAtOffset(t *testing.T) {
+	// Embed an access code in a random stream; exact correlation must
+	// fire only at the true offset.
+	rng := rand.New(rand.NewSource(8))
+	ac, _ := AccessCode(0xABCDEF, true)
+	stream := randBits(rng, 500)
+	off := 123
+	copy(stream[off:], ac)
+	hits := 0
+	for i := 0; i+len(ac) <= len(stream); i++ {
+		if bits.HammingDistance(stream[i:i+len(ac)], ac) <= 6 {
+			hits++
+			if i != off {
+				t.Fatalf("spurious correlation at %d", i)
+			}
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("%d correlation hits, want 1", hits)
+	}
+}

@@ -1,0 +1,43 @@
+package bt
+
+import "time"
+
+// The Bluetooth piconet clock: a 28-bit counter ticking every 312.5 µs
+// (CLK₀). Two ticks make one 625 µs time slot; the master transmits in
+// even slots (CLK₁ = 0) and a multi-slot packet keeps the frequency of its
+// first slot (spec Vol 2 Part B §2.2, §8.6.3 — the property BlueFi's audio
+// scheduler exploits to cover 3–5 slots per hop).
+
+// Timing constants.
+const (
+	TickDuration = 312500 * time.Nanosecond
+	SlotDuration = 2 * TickDuration
+	ClockMask    = (1 << 28) - 1
+	// BitRate is the basic-rate air speed.
+	BitRate = 1e6
+)
+
+// Clock is a 28-bit Bluetooth clock value.
+type Clock uint32
+
+// Slot returns the slot number (CLK / 2).
+func (c Clock) Slot() uint32 { return uint32(c&ClockMask) >> 1 }
+
+// IsMasterTxSlot reports whether the clock sits at the start of a
+// master-to-slave slot (CLK₁ = CLK₀ = 0).
+func (c Clock) IsMasterTxSlot() bool { return c&0b11 == 0 }
+
+// Advance returns the clock advanced by n slots.
+func (c Clock) Advance(n int) Clock {
+	return Clock((uint32(c) + uint32(2*n)) & ClockMask)
+}
+
+// Time converts the clock to an elapsed duration since clock zero.
+func (c Clock) Time() time.Duration {
+	return time.Duration(c&ClockMask) * TickDuration
+}
+
+// ClockAt returns the clock value for an elapsed duration.
+func ClockAt(d time.Duration) Clock {
+	return Clock(uint32(d/TickDuration) & ClockMask)
+}

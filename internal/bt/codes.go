@@ -1,0 +1,145 @@
+// Package bt implements the Bluetooth baseband layer BlueFi transmits:
+// BR/EDR packets (access code with BCH(64,30) sync words, FEC-protected
+// headers, whitened CRC-protected payloads, DM/DH packet types across 1, 3
+// and 5 slots), BLE advertising PDUs, the Bluetooth clock and time slots,
+// and the basic/adaptive frequency-hop selection used by the audio
+// application.
+//
+// Bit order convention: all bit slices are in over-the-air transmission
+// order (LSB of each byte first), matching the rest of the repository.
+package bt
+
+import "bluefi/internal/bits"
+
+// HEC computes the 8-bit header error check of the Bluetooth packet
+// header: generator D⁸+D⁷+D⁵+D²+D+1, register initialized with the UAP
+// (spec Vol 2 Part B §7.1.1). The result is returned LSB-first in
+// transmission order.
+func HEC(header10 []byte, uap byte) []byte {
+	c := bits.CRC{Width: 8, Poly: 0xA7, Init: uint64(uap)}
+	reg := c.Compute(header10)
+	out := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		out[i] = byte(reg>>(7-i)) & 1
+	}
+	return out
+}
+
+// CheckHEC verifies a 10-bit header against its 8 transmitted HEC bits.
+func CheckHEC(header10, hec []byte, uap byte) bool {
+	want := HEC(header10, uap)
+	return bits.Equal(want, hec)
+}
+
+// CRC16 computes the Bluetooth payload CRC (CCITT generator
+// D¹⁶+D¹²+D⁵+1, register initialized with UAP in the upper byte), returned
+// LSB... most-significant register bit first, in transmission order per
+// the spec's serial circuit.
+func CRC16(payload []byte, uap byte) []byte {
+	c := bits.CRC{Width: 16, Poly: 0x1021, Init: uint64(uap) << 8}
+	reg := c.Compute(payload)
+	out := make([]byte, 16)
+	for i := 0; i < 16; i++ {
+		out[i] = byte(reg>>(15-i)) & 1
+	}
+	return out
+}
+
+// CheckCRC16 verifies payload bits against 16 transmitted CRC bits.
+func CheckCRC16(payload, crc []byte, uap byte) bool {
+	return bits.Equal(CRC16(payload, uap), crc)
+}
+
+// Whitener is the BR/EDR data whitening LFSR: g(D)=D⁷+D⁴+1, initialized
+// from the master clock as x = 1, CLK₆…CLK₁ (spec §7.2). It scrambles the
+// header and payload (not the access code).
+type Whitener struct {
+	state uint8 // 7 bits, x6 in bit 6 … x0 in bit 0
+}
+
+// NewWhitener seeds the whitener for the given clock value.
+func NewWhitener(clk uint32) *Whitener {
+	// Register = 1 followed by CLK bits 6..1 (bit 6 of the register is 1).
+	init := uint8(0x40) | uint8((clk>>1)&0x3F)
+	return &Whitener{state: init}
+}
+
+// NextBit advances the LFSR and returns its output bit.
+func (w *Whitener) NextBit() byte {
+	out := (w.state >> 6) & 1
+	fb := out ^ ((w.state >> 3) & 1) // D⁷ + D⁴
+	w.state = ((w.state << 1) | fb) & 0x7F
+	return out
+}
+
+// Whiten XORs the stream with the whitening sequence in place and returns
+// it. Whitening is an involution for a fresh Whitener with the same seed.
+func (w *Whitener) Whiten(b []byte) []byte {
+	for i := range b {
+		b[i] ^= w.NextBit()
+	}
+	return b
+}
+
+// Hamming(15,10) shortened code — the "2/3 rate FEC" protecting DM packet
+// payloads (spec §7.4): each 10 information bits gain 5 parity bits from
+// generator g(D) = (D+1)(D⁴+D+1) = D⁵+D⁴+D²+1.
+const fec23Gen = 0x15 // D⁵+D⁴+D²+1 without the leading D⁵ term: 10101₂
+
+// FEC23Encode expands the bit stream (padded with zeros to a multiple of
+// 10) into 15-bit codewords.
+func FEC23Encode(in []byte) []byte {
+	padded := bits.Clone(in)
+	for len(padded)%10 != 0 {
+		padded = append(padded, 0)
+	}
+	c := bits.CRC{Width: 5, Poly: fec23Gen & 0x1F, Init: 0}
+	out := make([]byte, 0, len(padded)/10*15)
+	for i := 0; i < len(padded); i += 10 {
+		block := padded[i : i+10]
+		out = append(out, block...)
+		reg := c.Compute(block)
+		for k := 0; k < 5; k++ {
+			out = append(out, byte(reg>>(4-k))&1)
+		}
+	}
+	return out
+}
+
+// FEC23Decode corrects single-bit errors per 15-bit codeword via syndrome
+// lookup and returns the information bits and the number of corrected
+// errors. Uncorrectable blocks (nonzero syndrome not matching any single
+// flip) are reported via the second return and left best-effort.
+func FEC23Decode(in []byte) (info []byte, corrected, failed int) {
+	c := bits.CRC{Width: 5, Poly: fec23Gen & 0x1F, Init: 0}
+	syndromeOf := func(block []byte) uint64 {
+		reg := c.Compute(block[:10])
+		var rx uint64
+		for k := 0; k < 5; k++ {
+			rx |= uint64(block[10+k]&1) << (4 - k)
+		}
+		return reg ^ rx
+	}
+	// Precompute single-error syndromes.
+	type fix struct{ pos int }
+	table := map[uint64]fix{}
+	for p := 0; p < 15; p++ {
+		block := make([]byte, 15)
+		block[p] = 1
+		table[syndromeOf(block)] = fix{p}
+	}
+	for i := 0; i+15 <= len(in); i += 15 {
+		block := bits.Clone(in[i : i+15])
+		syn := syndromeOf(block)
+		if syn != 0 {
+			if f, ok := table[syn]; ok {
+				block[f.pos] ^= 1
+				corrected++
+			} else {
+				failed++
+			}
+		}
+		info = append(info, block[:10]...)
+	}
+	return info, corrected, failed
+}

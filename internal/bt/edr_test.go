@@ -1,0 +1,146 @@
+package bt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEDRTypeTables(t *testing.T) {
+	if EDR2DH5.MaxPayload() != 679 || EDR3DH5.MaxPayload() != 1021 {
+		t.Fatal("5-slot EDR capacities wrong")
+	}
+	if EDR2DH1.Rate() != EDR2 || EDR3DH1.Rate() != EDR3 {
+		t.Fatal("rates wrong")
+	}
+	if EDR3DH3.Slots() != 3 || EDR2DH1.Slots() != 1 {
+		t.Fatal("slots wrong")
+	}
+	// The paper's 3× claim: 3-DH5 carries ≈3× a DH5's payload.
+	if r := float64(EDR3DH5.MaxPayload()) / float64(DH5.MaxPayload()); r < 2.9 || r > 3.1 {
+		t.Fatalf("3-DH5/DH5 capacity ratio %.2f, want ≈3", r)
+	}
+	if r := float64(EDR2DH5.MaxPayload()) / float64(DH5.MaxPayload()); r < 1.9 || r > 2.1 {
+		t.Fatalf("2-DH5/DH5 capacity ratio %.2f, want ≈2", r)
+	}
+}
+
+func TestEDRIncrementRoundTrip(t *testing.T) {
+	for _, rate := range []EDRRate{EDR2, EDR3} {
+		n := 1 << uint(rate.BitsPerSymbol())
+		seen := map[int]bool{}
+		for v := 0; v < n; v++ {
+			inc := rate.phaseIncrement(v)
+			got := rate.nearestSymbol(inc)
+			if got != v {
+				t.Fatalf("rate %d: symbol %d → %.3f → %d", rate, v, inc, got)
+			}
+			q := int(math.Round(inc / (math.Pi / 4)))
+			if seen[q] {
+				t.Fatalf("rate %d: duplicate increment %.3f", rate, inc)
+			}
+			seen[q] = true
+		}
+	}
+}
+
+func TestEDRGrayAdjacency(t *testing.T) {
+	// Adjacent phase increments must differ in one bit (Gray property),
+	// so a small phase error costs one bit, not many.
+	for _, rate := range []EDRRate{EDR2, EDR3} {
+		n := 1 << uint(rate.BitsPerSymbol())
+		byStep := map[int]int{}
+		for v := 0; v < n; v++ {
+			step := int(math.Round(rate.phaseIncrement(v)/(math.Pi/4)+8)) % 8
+			byStep[step] = v
+		}
+		steps := []int{}
+		for s := range byStep {
+			steps = append(steps, s)
+		}
+		for _, s := range steps {
+			next, ok := byStep[(s+1)%8]
+			if !ok {
+				continue // DQPSK uses every other step
+			}
+			diff := byStep[s] ^ next
+			if popcount(diff) != 1 {
+				t.Fatalf("rate %d: steps %d→%d differ in %d bits", rate, s, (s+1)%8, popcount(diff))
+			}
+		}
+	}
+}
+
+func popcount(v int) int {
+	c := 0
+	for ; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}
+
+func TestEDRAirPhaseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dev := Device{LAP: 0x123456, UAP: 0x9A}
+	for _, pt := range []EDRPacketType{EDR2DH1, EDR2DH5, EDR3DH1, EDR3DH5} {
+		for trial := 0; trial < 3; trial++ {
+			payload := make([]byte, 1+rng.Intn(pt.MaxPayload()))
+			rng.Read(payload)
+			pkt := &EDRPacket{Type: pt, LTAddr: 1, Payload: payload, Clock: uint32(4 * trial)}
+			theta, payloadStart, err := pkt.AirPhase(dev, 20)
+			if err != nil {
+				t.Fatalf("%v: %v", pt, err)
+			}
+			res := DecodeEDRPayload(theta, payloadStart, 20, pt.Rate(), dev, pkt.Clock, 54)
+			if !res.OK {
+				t.Fatalf("%v trial %d: decode failed: %+v", pt, trial, res)
+			}
+			if string(res.Payload) != string(payload) {
+				t.Fatalf("%v: payload corrupted", pt)
+			}
+		}
+	}
+}
+
+func TestEDRAirPhaseValidation(t *testing.T) {
+	dev := Device{LAP: 1, UAP: 2}
+	pkt := &EDRPacket{Type: EDR2DH1, Payload: make([]byte, 55)}
+	if _, _, err := pkt.AirPhase(dev, 20); err == nil {
+		t.Error("accepted oversize 2-DH1 payload")
+	}
+	pkt2 := &EDRPacket{Type: EDR2DH1, LTAddr: 8}
+	if _, _, err := pkt2.AirPhase(dev, 20); err == nil {
+		t.Error("accepted 4-bit LT_ADDR")
+	}
+}
+
+func TestEDRCRCDetectsCorruption(t *testing.T) {
+	dev := Device{LAP: 0x123456, UAP: 0x9A}
+	pkt := &EDRPacket{Type: EDR2DH1, LTAddr: 1, Payload: []byte("edr payload"), Clock: 8}
+	theta, payloadStart, err := pkt.AirPhase(dev, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one payload symbol's phase by π/2.
+	for k := 0; k < 20; k++ {
+		theta[payloadStart+40+k] += math.Pi / 2
+	}
+	res := DecodeEDRPayload(theta, payloadStart, 20, EDR2, dev, 8, 54)
+	if res.OK {
+		t.Fatal("corrupted EDR payload accepted")
+	}
+}
+
+func TestEDRPhaseIsContinuous(t *testing.T) {
+	dev := Device{LAP: 0x123456, UAP: 0x9A}
+	pkt := &EDRPacket{Type: EDR3DH1, LTAddr: 1, Payload: make([]byte, 40), Clock: 0}
+	theta, _, err := pkt.AirPhase(dev, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(theta); i++ {
+		if d := math.Abs(theta[i] - theta[i-1]); d > 0.5 {
+			t.Fatalf("phase jump %.3f rad at sample %d — not constant-envelope-friendly", d, i)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package bt
+
+import "fmt"
+
+// Frequency hop selection. Bluetooth hops over 79 channels
+// (2402 + k MHz, k = 0…78) every 625 µs slot in the connection state,
+// staying put for multi-slot packets. Adaptive frequency hopping (AFH)
+// remaps hops that land on excluded channels onto the allowed set, which
+// is how BlueFi confines the sequence to the ≤20 Bluetooth channels
+// covered by one 20 MHz WiFi channel (paper §4.7).
+//
+// The kernel below follows the structure of the spec's hop selection box
+// (Vol 2 Part B §2.6): an ADD stage, an XOR stage, a 5-bit butterfly
+// permutation keyed by address/clock bits, and a final modulo-79 ADD.
+// The exact butterfly wiring of the spec is NDA-free but tabulated only in
+// figures; this implementation uses the same structure with a fixed,
+// documented butterfly order. Both ends of the simulation share it, and
+// the properties that matter to the experiments — determinism,
+// pseudo-random channel usage, correct AFH remapping, even/odd slot
+// behaviour — are property-tested. See DESIGN.md §2 (substitutions).
+
+// NumChannels is the BR/EDR channel count.
+const NumChannels = 79
+
+// ChannelMHz returns the center frequency of BR/EDR channel k.
+func ChannelMHz(k int) float64 { return 2402 + float64(k) }
+
+// HopSelector computes the basic hop sequence for a device address.
+type HopSelector struct {
+	addr uint32 // lower 28 significant address bits (LAP + part of UAP)
+}
+
+// NewHopSelector builds a selector from the device address words used by
+// the kernel (LAP ∪ UAP lower bits).
+func NewHopSelector(dev Device) *HopSelector {
+	return &HopSelector{addr: uint32(dev.UAP&0x0F)<<24 | dev.LAP&0xFFFFFF}
+}
+
+// butterflies is the fixed exchange network of the PERM5 stage: fourteen
+// (i,j) bit pairs applied in order, each controlled by one control bit.
+var butterflies = [14][2]uint{
+	{0, 1}, {2, 3}, {1, 2}, {3, 4}, {0, 4}, {1, 3}, {0, 2},
+	{3, 4}, {1, 4}, {0, 3}, {2, 4}, {1, 3}, {0, 3}, {0, 2},
+}
+
+// perm5 permutes a 5-bit value under 14 control bits.
+func perm5(z uint32, control uint32) uint32 {
+	for i, bf := range butterflies {
+		if control>>uint(i)&1 == 1 {
+			bi, bj := (z>>bf[0])&1, (z>>bf[1])&1
+			if bi != bj {
+				z ^= 1<<bf[0] | 1<<bf[1]
+			}
+		}
+	}
+	return z & 0x1F
+}
+
+// Channel returns the basic hop channel for a clock value. For frames
+// inside a multi-slot packet, call Channel with the clock of the packet's
+// first slot (the scheduler does this).
+func (h *HopSelector) Channel(clk Clock) int {
+	c := uint32(clk) & ClockMask
+	// Kernel inputs (connection-state shapes): X from CLK₆…₂, Y from
+	// CLK₁, A/B/C/D/E/F from address and upper clock bits.
+	x := (c >> 2) & 0x1F
+	y1 := (c >> 1) & 1
+	a := (h.addr >> 23) & 0x1F
+	b := h.addr & 0x0F
+	ctrl := ((h.addr >> 4) & 0x1FF) ^ ((c >> 7) & 0x3FFF)
+	e := (h.addr >> 9) & 0x7F
+	f := ((c >> 7) & 0x1FFFFF) * 16 % NumChannels
+
+	z := (x + a) & 0x1F                     // ADD
+	z ^= b & 0x0F                           // XOR (4 low bits)
+	z = perm5(z, ctrl)                      // PERM5
+	ch := (z + e + f + 39*y1) % NumChannels // final ADD mod 79
+	return int(ch)
+}
+
+// AFHMap restricts hopping to an allowed channel set. The zero value is
+// unusable; build with NewAFHMap.
+type AFHMap struct {
+	allowed []int
+	used    [NumChannels]bool
+}
+
+// NewAFHMap validates and stores the allowed channel list (spec requires
+// N_min = 20 for regulatory compliance; BlueFi deliberately uses exactly
+// the 20 channels inside one WiFi channel).
+func NewAFHMap(allowed []int) (*AFHMap, error) {
+	if len(allowed) == 0 {
+		return nil, fmt.Errorf("bt: AFH map needs at least one channel")
+	}
+	m := &AFHMap{}
+	for _, ch := range allowed {
+		if ch < 0 || ch >= NumChannels {
+			return nil, fmt.Errorf("bt: AFH channel %d out of range", ch)
+		}
+		if m.used[ch] {
+			return nil, fmt.Errorf("bt: AFH channel %d listed twice", ch)
+		}
+		m.used[ch] = true
+		m.allowed = append(m.allowed, ch)
+	}
+	return m, nil
+}
+
+// Size returns the number of allowed channels.
+func (m *AFHMap) Size() int { return len(m.allowed) }
+
+// Allowed reports whether a channel is in the allowed set.
+func (m *AFHMap) Allowed(ch int) bool {
+	return ch >= 0 && ch < NumChannels && m.used[ch]
+}
+
+// Remap applies the AFH remapping function: allowed channels pass
+// through; excluded channels map onto the allowed set by index modulo,
+// preserving uniformity (spec §2.6.4.4 "same channel mapping").
+func (m *AFHMap) Remap(ch int) int {
+	if m.Allowed(ch) {
+		return ch
+	}
+	return m.allowed[ch%len(m.allowed)]
+}
+
+// ChannelsInWiFiBand returns the Bluetooth channels whose ±btHalfBwMHz
+// band lies fully inside the 20 MHz WiFi channel wifiCh, the candidate
+// set for BlueFi's AFH restriction.
+func ChannelsInWiFiBand(wifiCenterMHz, btHalfBwMHz float64) []int {
+	var out []int
+	lo, hi := wifiCenterMHz-10+btHalfBwMHz, wifiCenterMHz+10-btHalfBwMHz
+	for k := 0; k < NumChannels; k++ {
+		f := ChannelMHz(k)
+		if f >= lo && f <= hi {
+			out = append(out, k)
+		}
+	}
+	return out
+}

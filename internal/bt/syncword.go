@@ -1,0 +1,113 @@
+package bt
+
+import "fmt"
+
+// Sync word construction (spec Vol 2 Part B §6.3.3): the 24-bit lower
+// address part (LAP) is appended with a 6-bit Barker sequence, XORed with
+// part of a 64-bit PN sequence, expanded to a BCH(64,30) codeword, and
+// XORed with the full PN sequence. The result has excellent
+// auto-correlation — it is what Bluetooth receivers correlate against, and
+// what BlueFi must reproduce through the WiFi chain.
+
+// pn64 is the spec's full-length pseudo-random noise sequence
+// (0x83848D96BBCC54FC), bit p0 in the LSB.
+const pn64 = uint64(0x83848D96BBCC54FC)
+
+// bchGen is the BCH(64,30) generator polynomial, octal 260534236651 per
+// the spec — degree 34.
+const bchGen = uint64(0o260534236651)
+
+// GIAC is the general inquiry access code LAP.
+const GIAC = uint32(0x9E8B33)
+
+// SyncWord derives the 64-bit sync word for a LAP, bit 0 transmitted
+// first.
+func SyncWord(lap uint32) (uint64, error) {
+	if lap > 0xFFFFFF {
+		return 0, fmt.Errorf("bt: LAP %#x exceeds 24 bits", lap)
+	}
+	// Step 1: append the Barker sequence (a29…a24 = 110010 if a23 = 0,
+	// else 001101; LSB-first that is bits 0b010011 / 0b101100).
+	info := uint64(lap)
+	if lap&0x800000 == 0 {
+		info |= uint64(0b010011) << 24
+	} else {
+		info |= uint64(0b101100) << 24
+	}
+	// Step 2: scramble the information with the upper PN bits p34…p63.
+	xtilde := info ^ (pn64 >> 34)
+	// Step 3: systematic BCH encoding — parity = x̃·D³⁴ mod g(D).
+	parity := bchRemainder(xtilde)
+	codeword := xtilde<<34 | parity
+	// Step 4: unscramble the whole codeword with the full PN sequence.
+	return codeword ^ pn64, nil
+}
+
+// bchRemainder computes (x·D³⁴) mod g(D) for a 30-bit x.
+func bchRemainder(x uint64) uint64 {
+	// Polynomial long division over GF(2): shift x up by 34, reduce.
+	r := x << 34
+	for i := 63; i >= 34; i-- {
+		if r&(1<<uint(i)) != 0 {
+			r ^= bchGen << uint(i-34)
+		}
+	}
+	return r & ((1 << 34) - 1)
+}
+
+// SyncWordValid reports whether a 64-bit word is a legitimate sync word
+// (its PN-unscrambled form is a BCH(64,30) codeword).
+func SyncWordValid(sw uint64) bool {
+	cw := sw ^ pn64
+	info := cw >> 34
+	return bchRemainder(info) == cw&((1<<34)-1)
+}
+
+// LAPFromSyncWord extracts the LAP embedded in a sync word (no error
+// correction; returns ok=false if the word is not a valid codeword).
+func LAPFromSyncWord(sw uint64) (lap uint32, ok bool) {
+	if !SyncWordValid(sw) {
+		return 0, false
+	}
+	cw := sw ^ pn64
+	info := (cw >> 34) ^ (pn64 >> 34)
+	return uint32(info & 0xFFFFFF), true
+}
+
+// SyncWordBits returns the sync word as 64 air-order bits (bit 0 first).
+func SyncWordBits(sw uint64) []byte {
+	out := make([]byte, 64)
+	for i := range out {
+		out[i] = byte(sw>>uint(i)) & 1
+	}
+	return out
+}
+
+// AccessCode assembles the 72-bit channel access code for a LAP: 4-bit
+// preamble, 64-bit sync word, 4-bit trailer. The preamble alternates
+// starting opposite to the sync word's first bit; the trailer alternates
+// starting opposite to the sync word's last bit (§6.3.1, §6.3.2). The
+// trailer is present only when a header follows.
+func AccessCode(lap uint32, withTrailer bool) ([]byte, error) {
+	sw, err := SyncWord(lap)
+	if err != nil {
+		return nil, err
+	}
+	swBits := SyncWordBits(sw)
+	out := make([]byte, 0, 72)
+	// Preamble 0101 if sync word LSB is 1, else 1010 (air order).
+	if swBits[0] == 1 {
+		out = append(out, 0, 1, 0, 1)
+	} else {
+		out = append(out, 1, 0, 1, 0)
+	}
+	out = append(out, swBits...)
+	if withTrailer {
+		if swBits[63] == 1 {
+			out = append(out, 0, 1, 0, 1)
+		} else {
+			out = append(out, 1, 0, 1, 0)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package btrx
+
+import (
+	"math/rand"
+	"testing"
+
+	"bluefi/internal/bt"
+	"bluefi/internal/gfsk"
+)
+
+func TestMLSECleanGFSKExactBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dev := range []float64{160e3, 250e3} {
+		cfg := gfsk.BRConfig()
+		cfg.Deviation = dev
+		bitsIn := make([]byte, 300)
+		for i := range bitsIn {
+			bitsIn[i] = byte(rng.Intn(2))
+		}
+		iq, err := cfg.Modulate(bitsIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcv, err := NewReceiver(Sniffer, 0, bt.Device{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rcv.Profile.NoiseFigureDB = 0
+		start := cfg.PayloadStart()
+		det, err := rcv.DetectAtPhase(iq, start%20, dev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := start / 20
+		errs := 0
+		for i, b := range bitsIn {
+			if det[off+i] != b&1 {
+				errs++
+				if errs < 8 {
+					t.Logf("dev=%g bit %d: got %d want %d (ctx %v)", dev, i, det[off+i], b, bitsIn[max(0, i-2):min(len(bitsIn), i+3)])
+				}
+			}
+		}
+		if errs != 0 {
+			t.Fatalf("deviation %g: %d/%d MLSE errors on clean GFSK", dev, errs, len(bitsIn))
+		}
+	}
+}
+
+func TestMLSESyntheticLinearChannel(t *testing.T) {
+	taps := isiTaps{g0: 0.5, g1: 0.15}
+	rng := rand.New(rand.NewSource(9))
+	bits := make([]byte, 400)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	sgn := func(b byte) float64 {
+		if b == 1 {
+			return 1
+		}
+		return -1
+	}
+	acc := make([]float64, len(bits))
+	for i := range acc {
+		acc[i] = taps.g0 * sgn(bits[i])
+		if i > 0 {
+			acc[i] += taps.g1 * sgn(bits[i-1])
+		}
+		if i+1 < len(bits) {
+			acc[i] += taps.g1 * sgn(bits[i+1])
+		}
+		acc[i] += 0.05 * rng.NormFloat64()
+	}
+	// Inject outliers.
+	acc[100] = -2
+	acc[200] = +1.7
+	det := mlseDetect(acc, taps)
+	errs := []int{}
+	for i := range bits {
+		if det[i] != bits[i] {
+			errs = append(errs, i)
+		}
+	}
+	t.Logf("mlse errors at %v", errs)
+	// The two outliers may flip their own bit, but must not cascade.
+	if len(errs) > 2 {
+		t.Fatalf("MLSE cascaded: %d errors %v", len(errs), errs)
+	}
+	for _, e := range errs {
+		if e != 100 && e != 200 {
+			t.Fatalf("error outside outlier positions: %v", errs)
+		}
+	}
+}

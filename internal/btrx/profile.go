@@ -1,0 +1,40 @@
+// Package btrx simulates unmodified Bluetooth receivers: a band-pass
+// channel filter, an FM discriminator, integrate-and-dump bit slicing with
+// timing search, access-code correlation, and BR/BLE packet decoding. It
+// stands in for the paper's smartphones and the FTS4BT sniffer (DESIGN.md
+// §2): the decode structure is the canonical low-cost GFSK receiver the
+// paper reasons about — in particular its channel filter is what
+// attenuates BlueFi's high-frequency CP-corruption noise (§2.4).
+package btrx
+
+// Profile captures how a particular receiver device presents measurements:
+// RF front-end noise figure (sensitivity), RSSI calibration offset and
+// report jitter, and platform quirks such as iPhone's power-save cutoff.
+// Values are chosen to reproduce the qualitative differences visible in
+// Figs. 5–8 (S6 reads 6–10 dB below the others; iPhone fluctuates and
+// stops reporting after ≈110 s).
+type Profile struct {
+	Name string
+	// NoiseFigureDB adds receiver front-end noise, degrading sensitivity.
+	NoiseFigureDB float64
+	// RSSIOffsetDB shifts reported RSSI (chip calibration differences).
+	RSSIOffsetDB float64
+	// RSSIJitterDB is the standard deviation of per-report RSSI noise.
+	RSSIJitterDB float64
+	// PowerSaveAfterS stops measurement reports after this many seconds
+	// (0 = never). The iPhone trace in Fig. 5 goes quiet near 110 s.
+	PowerSaveAfterS float64
+}
+
+// The three receiver devices used throughout the paper's evaluation.
+var (
+	Pixel  = Profile{Name: "Pixel", NoiseFigureDB: 4, RSSIOffsetDB: 0, RSSIJitterDB: 1.2}
+	S6     = Profile{Name: "S6", NoiseFigureDB: 7, RSSIOffsetDB: -8, RSSIJitterDB: 1.5}
+	IPhone = Profile{Name: "iPhone", NoiseFigureDB: 5, RSSIOffsetDB: -2, RSSIJitterDB: 3.5, PowerSaveAfterS: 110}
+	// Sniffer models the FTS4BT/BlueCore measurement hardware: low noise,
+	// no calibration offset, no power saving.
+	Sniffer = Profile{Name: "FTS4BT", NoiseFigureDB: 3, RSSIOffsetDB: 0, RSSIJitterDB: 0.5}
+)
+
+// Profiles lists the phone profiles in the order the paper plots them.
+var Profiles = []Profile{Pixel, S6, IPhone}

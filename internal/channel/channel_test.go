@@ -1,0 +1,157 @@
+package channel
+
+import (
+	"math"
+	"testing"
+
+	"bluefi/internal/dsp"
+)
+
+func TestPathLossMonotonic(t *testing.T) {
+	prev := -1.0
+	for _, d := range []float64{0.2, 0.5, 1, 1.5, 3, 4.5, 10} {
+		m := Default(18, d)
+		pl := m.PathLossDB()
+		if pl <= prev {
+			t.Fatalf("path loss not increasing at %g m", d)
+		}
+		prev = pl
+	}
+	// 1 m equals the reference loss.
+	if got := Default(18, 1).PathLossDB(); got != 40 {
+		t.Fatalf("PL(1m) = %g, want 40", got)
+	}
+	// Tiny distances are clamped, not singular.
+	if pl := Default(18, 0).PathLossDB(); math.IsInf(pl, -1) || math.IsNaN(pl) {
+		t.Fatal("PL(0) is not finite")
+	}
+}
+
+func TestApplySetsReceivedPower(t *testing.T) {
+	m := Default(10, 1) // RX power = 10 − 40 = −30 dBm, far above noise
+	m.NoiseFloorDBm = -120
+	tx := dsp.Tone(20000, 1e6, 20e6, 0)
+	rx, err := m.Apply(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MeasureRSSIDBm(rx)
+	if math.Abs(got-(-30)) > 0.1 {
+		t.Fatalf("received power %g dBm, want −30", got)
+	}
+}
+
+func TestApplyAddsNoiseAtConfiguredLevel(t *testing.T) {
+	m := Default(-200, 1) // signal negligible; only noise remains
+	m.NoiseFloorDBm = -90
+	tx := dsp.Tone(50000, 1e6, 20e6, 0)
+	rx, err := m.Apply(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MeasureRSSIDBm(rx)
+	if math.Abs(got-(-90)) > 0.3 {
+		t.Fatalf("noise floor %g dBm, want −90", got)
+	}
+}
+
+func TestApplyCFO(t *testing.T) {
+	m := Default(0, 1)
+	m.NoiseFloorDBm = -150
+	m.CFOHz = 100e3
+	tx := dsp.Tone(4096, 0, 20e6, 0)
+	rx, _ := m.Apply(tx)
+	// Instantaneous frequency should be ~2π·100e3/20e6 per sample.
+	f := dsp.Discriminate(rx)
+	want := 2 * math.Pi * 100e3 / 20e6
+	if math.Abs(f[100]-want) > want*0.01 {
+		t.Fatalf("CFO %g rad/sample, want %g", f[100], want)
+	}
+}
+
+func TestApplyDeterministicPerSeed(t *testing.T) {
+	m := Default(18, 1.5)
+	tx := dsp.Tone(1000, 1e6, 20e6, 0)
+	a, _ := m.Apply(tx)
+	b, _ := m.Apply(tx)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different channels")
+		}
+	}
+	m.Seed = 2
+	c, _ := m.Apply(tx)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical noise")
+	}
+}
+
+func TestApplyRejectsEmptyAndSilent(t *testing.T) {
+	m := Default(18, 1)
+	if _, err := m.Apply(nil); err == nil {
+		t.Error("accepted empty waveform")
+	}
+	if _, err := m.Apply(make([]complex128, 10)); err == nil {
+		t.Error("accepted zero-power waveform")
+	}
+}
+
+func TestInterfererDutyCycle(t *testing.T) {
+	iq := make([]complex128, 200000)
+	for i := range iq {
+		iq[i] = 1e-9 // tiny carrier so power measurement sees bursts
+	}
+	f := Interferer{PowerDBm: -40, DutyCycle: 0.5, BurstSamples: 4800, Seed: 3}
+	f.AddTo(iq)
+	// Count samples carrying burst power.
+	thresh := dsp.DBmToWatts(-50)
+	hot := 0
+	for _, v := range iq {
+		if real(v)*real(v)+imag(v)*imag(v) > thresh {
+			hot++
+		}
+	}
+	frac := float64(hot) / float64(len(iq))
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("burst occupancy %.2f, want ≈0.5", frac)
+	}
+}
+
+func TestInterfererNoOp(t *testing.T) {
+	iq := make([]complex128, 100)
+	Interferer{}.AddTo(iq)
+	for _, v := range iq {
+		if v != 0 {
+			t.Fatal("zero-duty interferer changed samples")
+		}
+	}
+}
+
+func TestSNRdB(t *testing.T) {
+	clean := dsp.Tone(1000, 1e6, 20e6, 0)
+	if !math.IsInf(SNRdB(clean, clean), 1) {
+		t.Fatal("identical waveforms should give +inf SNR")
+	}
+	noisy := make([]complex128, len(clean))
+	for i := range clean {
+		noisy[i] = clean[i] * 1.1 // 10% amplitude error ≈ 20 dB
+	}
+	snr := SNRdB(clean, noisy)
+	if snr < 19 || snr < 0 || snr > 21 {
+		t.Fatalf("SNR %g dB, want ≈20", snr)
+	}
+}
+
+func TestPeakDBmAtLeastMean(t *testing.T) {
+	iq := dsp.Tone(100, 1e6, 20e6, 0)
+	if PeakDBm(iq) < MeasureRSSIDBm(iq)-0.01 {
+		t.Fatal("peak below mean")
+	}
+}

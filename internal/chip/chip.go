@@ -1,0 +1,161 @@
+// Package chip models the commercial 802.11n transmitters the paper runs
+// BlueFi on. For BlueFi's purposes a WiFi chip is a deterministic
+// PSDU→IQ function plus a handful of quirks that the paper had to
+// reverse-engineer per vendor: the scrambler-seed policy (§2.8, §3), MPDU
+// length limits that the drivers had to bypass (§3), short-GI support and
+// per-symbol OFDM windowing (§2.4), and the default transmit power
+// (§4.1). The waveform synthesis itself is the standards-defined chain in
+// package wifi — which is exactly why BlueFi is vendor-agnostic.
+package chip
+
+import (
+	"fmt"
+
+	"bluefi/internal/wifi"
+)
+
+// SeedPolicy describes how a chip chooses scrambler seeds.
+type SeedPolicy int
+
+// Seed policies observed in the wild (paper §2.8, §3 and [14,15]).
+const (
+	// SeedFixed uses one constant seed (Realtek behaviour; RTL8811AU
+	// uses 71).
+	SeedFixed SeedPolicy = iota
+	// SeedIncrementing adds 1 per frame (Atheros behaviour) — still
+	// predictable, so BlueFi can pre-compute for the upcoming seed.
+	SeedIncrementing
+	// SeedPinned models a driver that cleared the GEN_SCRAMBLER-style
+	// bit, pinning the seed to 1 (the paper's AR9331 modification).
+	SeedPinned
+)
+
+// Model describes one chip.
+type Model struct {
+	Name string
+	// Policy and Seed describe scrambler behaviour; Seed is the fixed /
+	// pinned value or the increment starting point.
+	Policy SeedPolicy
+	Seed   uint8
+	// MaxMPDU is the driver-enforced frame limit in bytes that BlueFi's
+	// driver patch removes (§3: 2304 for RTL8811AU before the patch).
+	MaxMPDU int
+	// DriverPatched lifts MaxMPDU up to the PHY's 65535-byte PSDU limit.
+	DriverPatched bool
+	// ShortGI and Windowing describe the PHY behaviour; all major
+	// vendors ship both.
+	ShortGI   bool
+	Windowing bool
+	// DefaultTxPowerDBm is the stock transmit power (AR9331: 18 dBm).
+	DefaultTxPowerDBm float64
+	// MinTxPowerDBm bounds OpenWrt-style power control (§4.3).
+	MinTxPowerDBm float64
+}
+
+// The two evaluation chips plus a generic compliant part.
+var (
+	AR9331 = Model{
+		Name:              "AR9331 (ath9k)",
+		Policy:            SeedPinned,
+		Seed:              1,
+		MaxMPDU:           2304,
+		DriverPatched:     true, // netlink path in the patched ath9k driver
+		ShortGI:           true,
+		Windowing:         true,
+		DefaultTxPowerDBm: 18,
+		MinTxPowerDBm:     0,
+	}
+	RTL8811AU = Model{
+		Name:              "RTL8811AU (T2U Nano)",
+		Policy:            SeedFixed,
+		Seed:              71,
+		MaxMPDU:           2304,
+		DriverPatched:     true, // hard-coded limit removed (§3)
+		ShortGI:           true,
+		Windowing:         true,
+		DefaultTxPowerDBm: 16,
+		MinTxPowerDBm:     0,
+	}
+	Generic80211n = Model{
+		Name:              "generic 802.11n",
+		Policy:            SeedIncrementing,
+		Seed:              1,
+		MaxMPDU:           2304,
+		DriverPatched:     false,
+		ShortGI:           true,
+		Windowing:         true,
+		DefaultTxPowerDBm: 15,
+		MinTxPowerDBm:     0,
+	}
+)
+
+// Chip is a running instance of a Model: it owns the seed state and the
+// PHY chain.
+type Chip struct {
+	model Model
+	seed  uint8
+}
+
+// New instantiates a chip.
+func New(m Model) *Chip {
+	return &Chip{model: m, seed: m.Seed}
+}
+
+// Model returns the chip's description.
+func (c *Chip) Model() Model { return c.model }
+
+// NextSeed returns the scrambler seed the chip will use for the next
+// frame — the value BlueFi's synthesis must target (§2.8).
+func (c *Chip) NextSeed() uint8 {
+	switch c.model.Policy {
+	case SeedIncrementing:
+		return c.seed
+	default:
+		return c.model.Seed
+	}
+}
+
+// maxPSDU returns the frame-size limit the driver enforces.
+func (c *Chip) maxPSDU() int {
+	if c.model.DriverPatched {
+		return wifi.MaxPSDULen
+	}
+	return c.model.MaxMPDU
+}
+
+// Transmit runs the PSDU through the chip's 802.11n chain at the given
+// MCS and returns the emitted baseband IQ (preamble included). It
+// advances the scrambler seed per the chip's policy.
+func (c *Chip) Transmit(psdu []byte, mcs int) ([]complex128, error) {
+	if len(psdu) > c.maxPSDU() {
+		return nil, fmt.Errorf("chip: %s rejects %d-byte frame (limit %d; driver patched: %v)",
+			c.model.Name, len(psdu), c.maxPSDU(), c.model.DriverPatched)
+	}
+	tx, err := wifi.NewTransmitter(wifi.TxConfig{
+		MCS:           mcs,
+		ShortGI:       c.model.ShortGI,
+		ScramblerSeed: c.NextSeed(),
+		Windowing:     c.model.Windowing,
+		Preamble:      true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	iq, err := tx.Transmit(psdu)
+	if err != nil {
+		return nil, err
+	}
+	if c.model.Policy == SeedIncrementing {
+		c.seed = (c.seed % 127) + 1
+	}
+	return iq, nil
+}
+
+// Airtime reports the on-air duration in seconds of a frame at an MCS.
+func (c *Chip) Airtime(psduLen, mcs int) (float64, error) {
+	tx, err := wifi.NewTransmitter(wifi.TxConfig{MCS: mcs, ShortGI: c.model.ShortGI, Preamble: true})
+	if err != nil {
+		return 0, err
+	}
+	return tx.AirtimeSeconds(psduLen), nil
+}

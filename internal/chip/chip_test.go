@@ -1,0 +1,109 @@
+package chip
+
+import (
+	"testing"
+
+	"bluefi/internal/wifi"
+)
+
+func TestSeedPolicies(t *testing.T) {
+	rtl := New(RTL8811AU)
+	if rtl.NextSeed() != 71 {
+		t.Fatalf("RTL seed %d, want 71", rtl.NextSeed())
+	}
+	if _, err := rtl.Transmit(make([]byte, 10), 7); err != nil {
+		t.Fatal(err)
+	}
+	if rtl.NextSeed() != 71 {
+		t.Fatal("fixed seed changed after transmit")
+	}
+
+	ar := New(AR9331)
+	if ar.NextSeed() != 1 {
+		t.Fatalf("AR9331 pinned seed %d, want 1", ar.NextSeed())
+	}
+
+	gen := New(Generic80211n)
+	s0 := gen.NextSeed()
+	if _, err := gen.Transmit(make([]byte, 10), 7); err != nil {
+		t.Fatal(err)
+	}
+	if gen.NextSeed() != s0+1 {
+		t.Fatalf("incrementing seed went %d → %d", s0, gen.NextSeed())
+	}
+	// Wraps within 1..127 (seed 0 would silence the scrambler).
+	gen.seed = 127
+	if _, err := gen.Transmit(make([]byte, 10), 7); err != nil {
+		t.Fatal(err)
+	}
+	if gen.NextSeed() != 1 {
+		t.Fatalf("seed after 127 is %d, want 1", gen.NextSeed())
+	}
+}
+
+func TestDriverFrameLimits(t *testing.T) {
+	unpatched := New(Generic80211n)
+	if _, err := unpatched.Transmit(make([]byte, 3000), 7); err == nil {
+		t.Error("unpatched driver accepted a 3000-byte frame")
+	}
+	patched := New(RTL8811AU)
+	if _, err := patched.Transmit(make([]byte, 3000), 7); err != nil {
+		t.Errorf("patched driver rejected a 3000-byte frame: %v", err)
+	}
+	if _, err := patched.Transmit(make([]byte, wifi.MaxPSDULen+1), 7); err == nil {
+		t.Error("accepted a frame above the PHY PSDU limit")
+	}
+}
+
+func TestTransmitMatchesReferenceChain(t *testing.T) {
+	// The chip's output must equal the wifi package's chain with the same
+	// parameters — the determinism BlueFi relies on.
+	c := New(RTL8811AU)
+	psdu := []byte("determinism check")
+	got, err := c.Transmit(psdu, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := wifi.NewTransmitter(wifi.TxConfig{
+		MCS: 7, ShortGI: true, ScramblerSeed: 71, Windowing: true, Preamble: true,
+	})
+	want, _ := tx.Transmit(psdu)
+	if len(got) != len(want) {
+		t.Fatalf("length %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	c := New(AR9331)
+	at, err := c.Airtime(1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at < 100e-6 || at > 300e-6 {
+		t.Fatalf("airtime %.1f µs out of plausible range", at*1e6)
+	}
+	// Lower MCS → longer airtime.
+	at0, _ := c.Airtime(1000, 0)
+	if at0 <= at {
+		t.Fatal("MCS0 not slower than MCS7")
+	}
+}
+
+func TestChipPowerRanges(t *testing.T) {
+	if AR9331.DefaultTxPowerDBm != 18 {
+		t.Fatal("AR9331 default power must be 18 dBm (§4.1)")
+	}
+	for _, m := range []Model{AR9331, RTL8811AU, Generic80211n} {
+		if m.MinTxPowerDBm > m.DefaultTxPowerDBm {
+			t.Errorf("%s: min power above default", m.Name)
+		}
+		if !m.ShortGI {
+			t.Errorf("%s: all evaluation chips support SGI", m.Name)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"bluefi/internal/bt"
+	"bluefi/internal/btrx"
+	"bluefi/internal/channel"
+	"bluefi/internal/gfsk"
+)
+
+// TestEnsemblePER estimates packet error rate over many distinct payloads
+// — the quantity Fig. 9 actually measures.
+func TestEnsemblePER(t *testing.T) {
+	opts := DefaultOptions()
+	opts.GFSK = gfsk.BLEConfig()
+	s, _ := New(opts)
+	rng := rand.New(rand.NewSource(42))
+	ok, headerErr, crcErr, lost := 0, 0, 0, 0
+	const n = 40
+	for trial := 0; trial < n; trial++ {
+		data := make([]byte, 24)
+		rng.Read(data)
+		adv := &bt.Advertisement{PDUType: bt.AdvNonconnInd, AdvA: [6]byte{1, 2, 3, 4, 5, 6}, Data: data}
+		air, err := adv.AirBits(38)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Synthesize(air, 2426)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch := channel.Default(18, 1.5)
+		ch.Seed = int64(trial)
+		rx, _ := ch.Apply(res.Waveform)
+		rcv, _ := btrx.NewReceiver(btrx.Sniffer, res.Plan.OffsetHz, bt.Device{})
+		rep, _ := rcv.ReceiveBLE(rx, 38)
+		switch {
+		case !rep.Detected:
+			lost++
+		case rep.Result.OK:
+			ok++
+		case rep.Result.HeaderError:
+			headerErr++
+		default:
+			crcErr++
+		}
+	}
+	per := 100 * float64(n-ok) / float64(n)
+	t.Logf("ensemble over %d payloads: ok=%d crcErr=%d headerErr=%d lost=%d (PER %.0f%%)",
+		n, ok, crcErr, headerErr, lost, per)
+	// With the default dynamic-scale + rehearsal-phase-search pipeline
+	// the PER lands in the paper's best-channel regime (1.9–10 %).
+	if per > 30 {
+		t.Fatalf("PER %.0f%% — outside the expected regime", per)
+	}
+}

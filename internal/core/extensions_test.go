@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bluefi/internal/dsp"
+	"bluefi/internal/gfsk"
+	"bluefi/internal/wifi"
+)
+
+// TestQuantizationVsConstellationOrder measures the §5.1 claim: higher-
+// order constellations (802.11ac's 256-QAM) have finer frequency-domain
+// resolution, so the QAM-fitting residue shrinks.
+func TestQuantizationVsConstellationOrder(t *testing.T) {
+	g := gfsk.BLEConfig()
+	g.CenterOffset = 4e6
+	theta, err := g.PhaseSignal(beaconAirBits(t, 38))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(theta)%symbolLen != 0 {
+		theta = append(theta, theta[len(theta)-1])
+	}
+	thetaHat, err := DesignCP(theta, wifi.ShortGI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dsp.NewFFTPlan(wifi.FFTSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	residue := func(mod wifi.Modulation) float64 {
+		mp := wifi.NewMapper(mod)
+		// Scale so the strongest bins sit at ≈90 % of the grid edge, the
+		// same utilization for every order.
+		maxLvl := float64(mod.AxisLevels()[len(mod.AxisLevels())-1])
+		grid := 0.5 * 64 / (0.9 * maxLvl)
+		body := make([]complex128, wifi.FFTSize)
+		var errSum, sigSum float64
+		nsym := len(thetaHat) / symbolLen
+		for k := 0; k < nsym; k++ {
+			base := k*symbolLen + wifi.ShortGI
+			for n := 0; n < wifi.FFTSize; n++ {
+				s, c := math.Sincos(thetaHat[base+n])
+				body[n] = complex(0.5*c, 0.5*s)
+			}
+			X := plan.Forward(body)
+			for _, sub := range wifi.HTDataSubcarriers {
+				// In-band bins only (±2.5 MHz of the 4 MHz offset).
+				f := float64(sub) * wifi.SubcarrierSpacing / 1e6
+				if f < 1.5 || f > 6.5 {
+					continue
+				}
+				v := X[dsp.SubcarrierBin(sub, wifi.FFTSize)] / complex(grid, 0)
+				q := mp.Quantize(v)
+				d := v - q
+				errSum += (real(d)*real(d) + imag(d)*imag(d)) * grid * grid
+				sigSum += (real(v)*real(v) + imag(v)*imag(v)) * grid * grid
+			}
+		}
+		return errSum / sigSum
+	}
+
+	r64 := residue(wifi.QAM64)
+	r256 := residue(wifi.QAM256)
+	r16 := residue(wifi.QAM16)
+	t.Logf("relative in-band quantization residue: 16-QAM %.4f, 64-QAM %.4f, 256-QAM %.4f", r16, r64, r256)
+	if !(r256 < r64 && r64 < r16) {
+		t.Fatalf("residue not monotone in constellation order: 16=%g 64=%g 256=%g", r16, r64, r256)
+	}
+	// 256-QAM doubles per-axis resolution → ≈6 dB (4×) residue reduction.
+	if r64/r256 < 2.5 {
+		t.Errorf("256-QAM residue only %.1f× better than 64-QAM, want ≳4×", r64/r256)
+	}
+}
+
+// TestLongGIDesign exercises the CP construction at the 802.11g/long-GI
+// guard of 16 samples (§5.1): the structure still holds, but each symbol
+// carries roughly twice the corruption of the SGI design — the reason the
+// paper found 802.11g "spotty" and required 802.11n.
+func TestLongGIDesign(t *testing.T) {
+	g := gfsk.BLEConfig()
+	g.CenterOffset = 4e6
+	theta, err := g.PhaseSignal(beaconAirBits(t, 38))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(guard int) int {
+		T := guard + 64
+		th := append([]float64{}, theta...)
+		for len(th)%T != 0 {
+			th = append(th, th[len(th)-1])
+		}
+		hat, err := DesignCP(th, guard)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if worst, err := VerifyCPStructure(hat, guard); err != nil || worst > 1e-12 {
+			t.Fatalf("guard %d: CP constraint violated (%g, %v)", guard, worst, err)
+		}
+		// Count corrupted samples in a mid-stream symbol.
+		N := (len(th) / T / 2) * T
+		diffs := 0
+		for n := 0; n < T; n++ {
+			if wrapDiff(hat[N+n], th[N+n]) > 1e-12 {
+				diffs++
+			}
+		}
+		return diffs
+	}
+	short := count(wifi.ShortGI)
+	long := count(wifi.LongGI)
+	t.Logf("corrupted samples per symbol: SGI %d/72, long GI %d/80", short, long)
+	if long <= short {
+		t.Fatalf("long GI corruption (%d) not worse than SGI (%d)", long, short)
+	}
+	if short > 9 {
+		t.Fatalf("SGI corruption %d exceeds the paper's ≤250 ns-per-edge budget", short)
+	}
+}

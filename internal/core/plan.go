@@ -1,0 +1,118 @@
+// Package core implements the BlueFi synthesis pipeline — the paper's
+// primary contribution. Given a Bluetooth packet's air bits and carrier
+// frequency, it reverses the 802.11n transmit chain block by block
+// (§2.3–2.8): it constructs the target phase signal, designs a cyclic-
+// prefix- and windowing-compatible waveform, fits per-symbol QAM
+// constellations by FFT and nearest-point quantization, plans around pilot
+// and null subcarriers, inverts the FEC with a weighted Viterbi search or
+// the O(T) real-time decoder, and descrambles — producing a PSDU byte
+// string that an unmodified 802.11n chip will turn into a Bluetooth-
+// decodable waveform.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"bluefi/internal/wifi"
+)
+
+// ChannelPlan scores one WiFi channel as a carrier for a Bluetooth
+// frequency (§2.6 frequency planning).
+type ChannelPlan struct {
+	WiFiChannel   int
+	WiFiCenterMHz float64
+	// OffsetHz is the Bluetooth carrier offset from the WiFi center.
+	OffsetHz float64
+	// Subcarrier is the (fractional) subcarrier position of the carrier.
+	Subcarrier float64
+	// PilotDistanceMHz is the distance to the nearest pilot tone.
+	PilotDistanceMHz float64
+	// NullDistanceMHz is the distance to the nearest null (DC or the
+	// guard band edge beyond ±28).
+	NullDistanceMHz float64
+	// Score is the minimum of the two distances — larger is better.
+	Score float64
+}
+
+// btHalfBandwidthMHz is the half-bandwidth a Bluetooth signal needs clear
+// of pilots/nulls; the paper quotes 1.8125 MHz on channel 3 as
+// "significantly larger than half the bandwidth of Bluetooth signals".
+const btHalfBandwidthMHz = 0.7
+
+// maxUsableOffsetMHz keeps the whole Bluetooth band inside the 52 data
+// subcarriers (±28·0.3125 = ±8.75 MHz minus the Bluetooth half-band).
+const maxUsableOffsetMHz = 8.75 - btHalfBandwidthMHz
+
+// PlanChannels evaluates every 2.4 GHz WiFi channel that can carry the
+// given Bluetooth frequency and returns the candidates sorted best-first.
+// An empty result means no WiFi channel covers the frequency.
+func PlanChannels(btMHz float64) []ChannelPlan {
+	var plans []ChannelPlan
+	for ch := 1; ch <= 13; ch++ {
+		center, err := wifi.Channel2GHzCenter(ch)
+		if err != nil {
+			continue
+		}
+		offMHz := btMHz - center
+		if offMHz < -maxUsableOffsetMHz || offMHz > maxUsableOffsetMHz {
+			continue
+		}
+		p := ChannelPlan{
+			WiFiChannel:   ch,
+			WiFiCenterMHz: center,
+			OffsetHz:      offMHz * 1e6,
+			Subcarrier:    offMHz / (wifi.SubcarrierSpacing / 1e6),
+		}
+		p.PilotDistanceMHz = 1e18
+		for _, ps := range wifi.PilotSubcarriers {
+			d := abs(offMHz - float64(ps)*wifi.SubcarrierSpacing/1e6)
+			if d < p.PilotDistanceMHz {
+				p.PilotDistanceMHz = d
+			}
+		}
+		// Nulls: DC and the guard edges just beyond ±28.
+		p.NullDistanceMHz = abs(offMHz)
+		for _, edge := range []float64{-29, 29} {
+			d := abs(offMHz - edge*wifi.SubcarrierSpacing/1e6)
+			if d < p.NullDistanceMHz {
+				p.NullDistanceMHz = d
+			}
+		}
+		p.Score = p.PilotDistanceMHz
+		if p.NullDistanceMHz < p.Score {
+			p.Score = p.NullDistanceMHz
+		}
+		plans = append(plans, p)
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i].Score > plans[j].Score })
+	return plans
+}
+
+// BestChannel returns the top-scoring plan for a Bluetooth frequency.
+func BestChannel(btMHz float64) (ChannelPlan, error) {
+	plans := PlanChannels(btMHz)
+	if len(plans) == 0 {
+		return ChannelPlan{}, fmt.Errorf("core: no WiFi channel covers %g MHz", btMHz)
+	}
+	return plans[0], nil
+}
+
+// PlanForChannel scores a specific WiFi channel for a Bluetooth frequency,
+// for callers that are pinned to one channel (the audio app keeps a single
+// WiFi channel and hops Bluetooth channels inside it).
+func PlanForChannel(btMHz float64, wifiCh int) (ChannelPlan, error) {
+	for _, p := range PlanChannels(btMHz) {
+		if p.WiFiChannel == wifiCh {
+			return p, nil
+		}
+	}
+	return ChannelPlan{}, fmt.Errorf("core: WiFi channel %d does not cover %g MHz", wifiCh, btMHz)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

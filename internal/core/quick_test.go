@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bluefi/internal/wifi"
+)
+
+// Property: for ANY phase signal, the §2.4 construction satisfies the
+// CP-equality and windowing-continuity constraints exactly.
+func TestDesignCPInvariantQuick(t *testing.T) {
+	f := func(seed int64, symCount uint8) bool {
+		n := (int(symCount%16) + 2) * symbolLen
+		rng := rand.New(rand.NewSource(seed))
+		theta := make([]float64, n)
+		acc := 0.0
+		for i := range theta {
+			acc += rng.NormFloat64() * 0.2
+			theta[i] = acc
+		}
+		hat, err := DesignCP(theta, wifi.ShortGI)
+		if err != nil {
+			return false
+		}
+		worst, err := VerifyCPStructure(hat, wifi.ShortGI)
+		if err != nil || worst > 1e-12 {
+			return false
+		}
+		// Windowing continuity: body[0] equals the next symbol's start.
+		for N := 0; N+symbolLen < len(hat); N += symbolLen {
+			if wrapDiff(hat[N+wifi.ShortGI], hat[N+symbolLen]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: frequency planning never emits a plan whose Bluetooth band
+// leaves the data subcarriers, and the best plan maximizes the
+// pilot/null clearance among candidates.
+func TestPlanChannelsInvariantQuick(t *testing.T) {
+	f := func(m uint16) bool {
+		btMHz := 2400 + float64(m%85) // 2400–2484
+		plans := PlanChannels(btMHz)
+		bestScore := -1.0
+		for i, p := range plans {
+			off := p.OffsetHz / 1e6
+			if off < -8.05-1e-9 || off > 8.05+1e-9 {
+				return false
+			}
+			if p.Score > bestScore && i > 0 {
+				return false // must be sorted best-first
+			}
+			if i == 0 {
+				bestScore = p.Score
+			}
+			if p.Score > p.PilotDistanceMHz+1e-9 || p.Score > p.NullDistanceMHz+1e-9 {
+				return false // score is the min of the two distances
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// FIR is a finite-impulse-response filter with real taps, applied to
+// complex IQ streams. The zero value is an identity (no-op) filter.
+type FIR struct {
+	Taps []float64
+}
+
+// LowpassFIR designs a windowed-sinc (Hamming) lowpass filter with the
+// given cutoff frequency in Hz at sampleRate, using numTaps coefficients
+// (odd numbers give a symmetric, linear-phase filter with integer group
+// delay). The DC gain is normalized to 1.
+func LowpassFIR(cutoff, sampleRate float64, numTaps int) (*FIR, error) {
+	if numTaps < 3 {
+		return nil, fmt.Errorf("dsp: lowpass needs ≥ 3 taps, got %d", numTaps)
+	}
+	if cutoff <= 0 || cutoff >= sampleRate/2 {
+		return nil, fmt.Errorf("dsp: cutoff %g Hz outside (0, %g)", cutoff, sampleRate/2)
+	}
+	fc := cutoff / sampleRate
+	taps := make([]float64, numTaps)
+	mid := float64(numTaps-1) / 2
+	var sum float64
+	for i := range taps {
+		t := float64(i) - mid
+		var s float64
+		if t == 0 {
+			s = 2 * fc
+		} else {
+			s = math.Sin(2*math.Pi*fc*t) / (math.Pi * t)
+		}
+		w := 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(numTaps-1)) // Hamming
+		taps[i] = s * w
+		sum += taps[i]
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return &FIR{Taps: taps}, nil
+}
+
+// GroupDelay returns the filter's group delay in samples for symmetric
+// (linear-phase) designs.
+func (f *FIR) GroupDelay() int { return (len(f.Taps) - 1) / 2 }
+
+// Apply convolves x with the filter taps and returns a slice of the same
+// length, delay-compensated so that output sample n aligns with input
+// sample n (the GroupDelay leading samples of raw convolution output are
+// dropped, and the tail is zero-padded).
+func (f *FIR) Apply(x []complex128) []complex128 {
+	if len(f.Taps) == 0 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out
+	}
+	out := make([]complex128, len(x))
+	d := f.GroupDelay()
+	for n := range out {
+		// out[n] = Σ_k taps[k]·x[n+d-k]
+		var acc complex128
+		for k, t := range f.Taps {
+			idx := n + d - k
+			if idx < 0 || idx >= len(x) {
+				continue
+			}
+			acc += complex(t, 0) * x[idx]
+		}
+		out[n] = acc
+	}
+	return out
+}
+
+// GaussianPulse returns a unit-area Gaussian pulse for GFSK shaping with
+// bandwidth-time product bt, bit duration of spb samples, truncated to
+// spanBits bit periods (total length spanBits*spb+1, odd and symmetric).
+//
+// The pulse is the impulse response g(t) = (1/2T)·[Q(a·(t/T−1/2)) −
+// Q(a·(t/T+1/2))]-equivalent Gaussian used by Bluetooth (BT=0.5), sampled
+// and normalized so the taps sum to 1: convolving the NRZ frequency signal
+// with it preserves total frequency deviation.
+func GaussianPulse(bt float64, spb, spanBits int) []float64 {
+	if spanBits < 1 {
+		spanBits = 1
+	}
+	n := spanBits*spb + 1
+	taps := make([]float64, n)
+	mid := float64(n-1) / 2
+	// Standard GFSK Gaussian: sigma (in bit periods) = sqrt(ln2)/(2π·BT).
+	sigma := math.Sqrt(math.Ln2) / (2 * math.Pi * bt) * float64(spb)
+	var sum float64
+	for i := range taps {
+		t := float64(i) - mid
+		taps[i] = math.Exp(-t * t / (2 * sigma * sigma))
+		sum += taps[i]
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return taps
+}
+
+// ConvolveReal convolves a real signal with real taps and returns the
+// "same"-length, delay-compensated result (mirror of FIR.Apply for real
+// signals; used on GFSK frequency trajectories).
+func ConvolveReal(x, taps []float64) []float64 {
+	out := make([]float64, len(x))
+	d := (len(taps) - 1) / 2
+	for n := range out {
+		var acc float64
+		for k, t := range taps {
+			idx := n + d - k
+			if idx < 0 {
+				idx = 0 // hold edge values: frequency signal is flat outside
+			}
+			if idx >= len(x) {
+				idx = len(x) - 1
+			}
+			acc += t * x[idx]
+		}
+		out[n] = acc
+	}
+	return out
+}

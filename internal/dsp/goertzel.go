@@ -1,0 +1,36 @@
+package dsp
+
+import "math"
+
+// Goertzel evaluates a single DFT bin of a block — the cheap way to probe
+// one frequency, used by spectrum checks and the per-channel energy scans
+// in tests (a receiver searching for a beacon does the same in hardware).
+//
+// The returned value matches FFT convention: X(f) = Σ_n x[n]·e^{−j2πfn/fs}.
+func Goertzel(x []complex128, freq, sampleRate float64) complex128 {
+	if len(x) == 0 {
+		return 0
+	}
+	w := 2 * math.Pi * freq / sampleRate
+	coeff := complex(2*math.Cos(w), 0)
+	var s1, s2 complex128
+	for _, v := range x {
+		s0 := v + coeff*s1 - s2
+		s2, s1 = s1, s0
+	}
+	// X = e^{jw}·s1 − s2 equals Σ x[n]·e^{−jwn} directly under this
+	// recurrence (verified against the FFT in tests).
+	sw, cw := math.Sincos(w)
+	return complex(cw, sw)*s1 - s2
+}
+
+// GoertzelPower returns |X(f)|² normalized by the block length squared —
+// the mean-power contribution of the probed frequency.
+func GoertzelPower(x []complex128, freq, sampleRate float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	X := Goertzel(x, freq, sampleRate)
+	n := float64(len(x))
+	return (real(X)*real(X) + imag(X)*imag(X)) / (n * n)
+}

@@ -1,0 +1,102 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func TestGoertzelMatchesDFTBin(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := randIQ(rng, 64)
+	p, _ := NewFFTPlan(64)
+	X := p.Forward(x)
+	for _, sub := range []int{0, 1, 7, 13, 31, -5, -31} {
+		bin := SubcarrierBin(sub, 64)
+		freq := float64(sub) / 64 // sampleRate 1
+		got := Goertzel(x, freq, 1)
+		if cmplx.Abs(got-X[bin]) > 1e-9 {
+			t.Fatalf("sub %d: Goertzel %v vs FFT %v", sub, got, X[bin])
+		}
+	}
+}
+
+func TestGoertzelOffGridFrequency(t *testing.T) {
+	// For a pure tone exactly at the probe frequency (even off the FFT
+	// grid), the power must equal the tone power.
+	x := Tone(500, 123456, 20e6, 0.7)
+	p := GoertzelPower(x, 123456, 20e6)
+	if math.Abs(p-1) > 0.01 {
+		t.Fatalf("on-frequency power %g, want 1", p)
+	}
+	// Far away: small.
+	if GoertzelPower(x, 5e6, 20e6) > 0.01 {
+		t.Fatal("off-frequency power too high")
+	}
+}
+
+func TestGoertzelEmpty(t *testing.T) {
+	if Goertzel(nil, 1e6, 20e6) != 0 || GoertzelPower(nil, 1e6, 20e6) != 0 {
+		t.Fatal("empty input should give zero")
+	}
+}
+
+func TestResamplerIdentity(t *testing.T) {
+	r, err := NewResampler(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up, down := r.Ratio(); up != 1 || down != 1 {
+		t.Fatalf("ratio %d/%d, want 1/1", up, down)
+	}
+	x := Tone(100, 1e6, 20e6, 0)
+	y := r.Resample(x)
+	for i := range x {
+		if y[i] != x[i] {
+			t.Fatal("identity resample changed samples")
+		}
+	}
+}
+
+func TestResamplerPreservesTone(t *testing.T) {
+	for _, ratio := range [][2]int{{2, 1}, {1, 2}, {3, 2}, {4, 5}} {
+		r, err := NewResampler(ratio[0], ratio[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		inRate := 20e6
+		outRate := inRate * float64(ratio[0]) / float64(ratio[1])
+		x := Tone(4000, 1e6, inRate, 0)
+		y := r.Resample(x)
+		wantLen := len(x) * ratio[0] / ratio[1]
+		if len(y) < wantLen-2 || len(y) > wantLen+2 {
+			t.Fatalf("%d/%d: output %d samples, want ≈%d", ratio[0], ratio[1], len(y), wantLen)
+		}
+		// The tone must appear at 1 MHz of the NEW rate with ~unit power.
+		mid := y[len(y)/4 : len(y)*3/4]
+		p := GoertzelPower(mid, 1e6, outRate)
+		if math.Abs(p-1) > 0.1 {
+			t.Fatalf("%d/%d: resampled tone power %g, want ≈1", ratio[0], ratio[1], p)
+		}
+	}
+}
+
+func TestResamplerRejectsBadFactors(t *testing.T) {
+	if _, err := NewResampler(0, 1); err == nil {
+		t.Error("accepted up=0")
+	}
+	if _, err := NewResampler(1, -2); err == nil {
+		t.Error("accepted down<0")
+	}
+}
+
+func TestResamplerAntiAliasing(t *testing.T) {
+	// Downsampling 2:1 must suppress content above the new Nyquist.
+	r, _ := NewResampler(1, 2)
+	x := Tone(4000, 8e6, 20e6, 0) // above 5 MHz, the post-decimation Nyquist
+	y := r.Resample(x)
+	if p := MeanPower(y[len(y)/4 : len(y)*3/4]); p > 0.02 {
+		t.Fatalf("aliased power %g, want ≈0", p)
+	}
+}

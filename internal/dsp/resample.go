@@ -1,0 +1,73 @@
+package dsp
+
+import "fmt"
+
+// Rational resampling. The WiFi substrate runs at 20 Msps, but SDR traces
+// and audio substrates use other rates; a polyphase windowed-sinc
+// resampler bridges them without external dependencies.
+
+// Resampler converts a complex stream by the rational factor up/down.
+type Resampler struct {
+	up, down int
+	fir      *FIR
+}
+
+// NewResampler designs an anti-aliasing filter for the conversion.
+// up and down must be positive; common factors are fine.
+func NewResampler(up, down int) (*Resampler, error) {
+	if up <= 0 || down <= 0 {
+		return nil, fmt.Errorf("dsp: resample factors %d/%d must be positive", up, down)
+	}
+	g := gcd(up, down)
+	up, down = up/g, down/g
+	r := &Resampler{up: up, down: down}
+	if up == 1 && down == 1 {
+		return r, nil
+	}
+	// Cutoff at the tighter of the two Nyquist limits, in the upsampled
+	// domain whose rate is inRate·up (normalized rates suffice for the
+	// design; the filter scales with the ratio only).
+	limit := 1.0 / float64(max(up, down)) / 2 * 0.9
+	fir, err := LowpassFIR(limit, 1, 16*max(up, down)+1)
+	if err != nil {
+		return nil, err
+	}
+	// Interpolation must preserve amplitude: gain up.
+	for i := range fir.Taps {
+		fir.Taps[i] *= float64(up)
+	}
+	r.fir = fir
+	return r, nil
+}
+
+// Ratio returns the reduced up/down factors.
+func (r *Resampler) Ratio() (up, down int) { return r.up, r.down }
+
+// Resample converts the block (stateless; pad blocks for streaming use).
+func (r *Resampler) Resample(x []complex128) []complex128 {
+	if r.up == 1 && r.down == 1 {
+		out := make([]complex128, len(x))
+		copy(out, x)
+		return out
+	}
+	// Zero-stuff, filter, decimate — direct form for clarity; block sizes
+	// in this repository are small enough that the polyphase savings do
+	// not matter.
+	stuffed := make([]complex128, len(x)*r.up)
+	for i, v := range x {
+		stuffed[i*r.up] = v
+	}
+	filtered := r.fir.Apply(stuffed)
+	out := make([]complex128, 0, len(filtered)/r.down+1)
+	for i := 0; i < len(filtered); i += r.down {
+		out = append(out, filtered[i])
+	}
+	return out
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

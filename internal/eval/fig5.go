@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"bluefi/internal/btrx"
+	"bluefi/internal/channel"
+	"bluefi/internal/chip"
+)
+
+// Fig. 5b/5c — Performance vs distance (§4.2): the three phones at near
+// (~20 cm), close (~1.5 m) and far (4–5 m) from a router running BlueFi,
+// for each of the two chips.
+
+// DistancePoint names one placement.
+type DistancePoint struct {
+	Label     string
+	DistanceM float64
+}
+
+// Distances are the paper's three placements.
+var Distances = []DistancePoint{
+	{"near", 0.2},
+	{"close", 1.5},
+	{"far", 4.5},
+}
+
+// Fig5Config sizes the experiment.
+type Fig5Config struct {
+	Chip      chip.Model
+	DurationS float64
+	Reports   int
+	Seed      int64
+}
+
+// DefaultFig5 mirrors the paper's 2-minute nRF Connect runs, sampled at a
+// pace the simulation can afford.
+func DefaultFig5(m chip.Model) Fig5Config {
+	return Fig5Config{Chip: m, DurationS: 120, Reports: 12, Seed: 5}
+}
+
+// Fig5Distance runs the distance sweep and returns one trace per
+// (receiver, distance).
+func Fig5Distance(cfg Fig5Config) ([]Trace, error) {
+	c := chip.New(cfg.Chip)
+	waves, err := synthesizeBeaconSet(c, 1, 4)
+	if err != nil {
+		return nil, err
+	}
+	var out []Trace
+	for _, d := range Distances {
+		for _, prof := range btrx.Profiles {
+			ch := channel.Default(cfg.Chip.DefaultTxPowerDBm, d.DistanceM)
+			ch.ShadowingStdDB = 1.5
+			tr, err := receiveSeries(waves, prof, ch, cfg.DurationS, cfg.Reports, cfg.Seed+int64(len(out)))
+			if err != nil {
+				return nil, err
+			}
+			tr.Distance = d.Label
+			out = append(out, tr)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,57 @@
+package eval
+
+import (
+	"bluefi/internal/btrx"
+	"bluefi/internal/channel"
+	"bluefi/internal/chip"
+)
+
+// Fig. 6 — Performance vs transmit power (§4.3): phones at 1.5 m while
+// the router's power steps from 0 to 20 dBm (OpenWrt's power levels).
+
+// TxPowerLevels matches the paper's x-axis.
+var TxPowerLevels = []float64{0, 4, 5, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20}
+
+// PowerPoint is one box of the Fig. 6 box plot.
+type PowerPoint struct {
+	Receiver   string
+	TxPowerDBm float64
+	MeanRSSI   float64
+	Received   float64 // fraction of packets decoded
+}
+
+// Fig6Config sizes the sweep.
+type Fig6Config struct {
+	PacketsPerLevel int
+	Seed            int64
+}
+
+// DefaultFig6 keeps each box at a dozen packets.
+func DefaultFig6() Fig6Config { return Fig6Config{PacketsPerLevel: 10, Seed: 6} }
+
+// Fig6TxPower runs the sweep for the three phones.
+func Fig6TxPower(cfg Fig6Config) ([]PowerPoint, error) {
+	c := chip.New(chip.AR9331)
+	waves, err := synthesizeBeaconSet(c, 2, 4)
+	if err != nil {
+		return nil, err
+	}
+	var out []PowerPoint
+	for _, prof := range btrx.Profiles {
+		for _, p := range TxPowerLevels {
+			ch := channel.Default(p, 1.5)
+			ch.ShadowingStdDB = 1.0
+			tr, err := receiveSeries(waves, prof, ch, 120, cfg.PacketsPerLevel, cfg.Seed+int64(len(out)))
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PowerPoint{
+				Receiver:   prof.Name,
+				TxPowerDBm: p,
+				MeanRSSI:   tr.MeanRSSI(),
+				Received:   tr.ReceivedFraction,
+			})
+		}
+	}
+	return out, nil
+}

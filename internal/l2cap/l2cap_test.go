@@ -1,0 +1,108 @@
+package l2cap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	f := func(cid uint16, payload []byte) bool {
+		fr := &Frame{CID: cid, Payload: payload}
+		wire, err := fr.Marshal()
+		if err != nil {
+			return len(payload) > 0xFFFF
+		}
+		back, err := Unmarshal(wire)
+		if err != nil {
+			return false
+		}
+		return back.CID == cid && string(back.Payload) == string(payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte{1, 2}); err == nil {
+		t.Error("accepted 2 bytes")
+	}
+	// Header claims 10 payload bytes, provides 2.
+	if _, err := Unmarshal([]byte{10, 0, 0x40, 0x00, 1, 2}); err == nil {
+		t.Error("accepted truncated payload")
+	}
+}
+
+func TestSegmentReassemble(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		payload := make([]byte, rng.Intn(900))
+		rng.Read(payload)
+		fr := &Frame{CID: CIDDynamicFirst, Payload: payload}
+		wire, err := fr.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mtu := 4 + rng.Intn(330)
+		segs, err := Segment(wire, mtu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range segs {
+			if len(s) > mtu {
+				t.Fatalf("segment of %d bytes exceeds MTU %d", len(s), mtu)
+			}
+		}
+		var r Reassembler
+		var got *Frame
+		for i, s := range segs {
+			f, err := r.Push(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f != nil {
+				if i != len(segs)-1 {
+					t.Fatal("frame completed before last segment")
+				}
+				got = f
+			}
+		}
+		if got == nil {
+			t.Fatal("frame never completed")
+		}
+		if got.CID != CIDDynamicFirst || string(got.Payload) != string(payload) {
+			t.Fatal("reassembled frame corrupted")
+		}
+	}
+}
+
+func TestReassemblerBackToBackFrames(t *testing.T) {
+	a, _ := (&Frame{CID: 0x40, Payload: []byte("first")}).Marshal()
+	b, _ := (&Frame{CID: 0x41, Payload: []byte("second!")}).Marshal()
+	var r Reassembler
+	f1, err := r.Push(append(append([]byte{}, a...), b...))
+	if err != nil || f1 == nil || string(f1.Payload) != "first" {
+		t.Fatalf("first frame: %v %v", f1, err)
+	}
+	f2, err := r.Push(nil)
+	if err != nil || f2 == nil || string(f2.Payload) != "second!" {
+		t.Fatalf("second frame: %v %v", f2, err)
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("pending %d bytes", r.Pending())
+	}
+}
+
+func TestSegmentMTUValidation(t *testing.T) {
+	if _, err := Segment([]byte{1, 2, 3}, 3); err == nil {
+		t.Error("accepted MTU below header size")
+	}
+}
+
+func TestMarshalOversize(t *testing.T) {
+	fr := &Frame{CID: 1, Payload: make([]byte, 0x10000)}
+	if _, err := fr.Marshal(); err == nil {
+		t.Error("accepted 65536-byte payload")
+	}
+}

@@ -1,0 +1,335 @@
+package sbc
+
+import (
+	"fmt"
+	"math"
+
+	"bluefi/internal/bits"
+)
+
+// Syncword opens every SBC frame.
+const Syncword = 0x9C
+
+// SamplingFreq encodes the frame's sampling frequency.
+type SamplingFreq uint8
+
+// Sampling frequencies (2-bit field order per the A2DP codec spec).
+const (
+	Freq16k SamplingFreq = iota
+	Freq32k
+	Freq44k
+	Freq48k
+)
+
+// Hz returns the frequency in Hz.
+func (f SamplingFreq) Hz() int {
+	switch f {
+	case Freq16k:
+		return 16000
+	case Freq32k:
+		return 32000
+	case Freq44k:
+		return 44100
+	default:
+		return 48000
+	}
+}
+
+// ChannelMode selects mono or stereo coding.
+type ChannelMode uint8
+
+// Channel modes (joint stereo is coded as plain stereo here; the PHY and
+// the experiments are insensitive to the distinction).
+const (
+	Mono ChannelMode = iota
+	DualChannel
+	Stereo
+)
+
+// Channels returns the channel count.
+func (m ChannelMode) Channels() int {
+	if m == Mono {
+		return 1
+	}
+	return 2
+}
+
+// AllocMethod selects the bit-allocation heuristic.
+type AllocMethod uint8
+
+// Allocation methods: SNR allocates by scale factor; Loudness subtracts a
+// perceptual offset favouring low subbands.
+const (
+	Loudness AllocMethod = iota
+	SNR
+)
+
+// Config describes an SBC stream.
+type Config struct {
+	Freq     SamplingFreq
+	Blocks   int // 4, 8, 12 or 16 blocks per frame
+	Mode     ChannelMode
+	Alloc    AllocMethod
+	Subbands int // 4 or 8
+	Bitpool  int // 2..250; A2DP headsets commonly use 32-53
+}
+
+// DefaultConfig is the A2DP "middle quality" setting the audio demo uses:
+// 44.1 kHz stereo, 8 subbands, 16 blocks, bitpool 35.
+func DefaultConfig() Config {
+	return Config{Freq: Freq44k, Blocks: 16, Mode: Stereo, Alloc: Loudness, Subbands: 8, Bitpool: 35}
+}
+
+// Validate checks field ranges.
+func (c Config) Validate() error {
+	switch c.Blocks {
+	case 4, 8, 12, 16:
+	default:
+		return fmt.Errorf("sbc: %d blocks invalid", c.Blocks)
+	}
+	if c.Subbands != 4 && c.Subbands != 8 {
+		return fmt.Errorf("sbc: %d subbands invalid", c.Subbands)
+	}
+	if c.Bitpool < 2 || c.Bitpool > 250 {
+		return fmt.Errorf("sbc: bitpool %d out of range", c.Bitpool)
+	}
+	if c.Mode > Stereo {
+		return fmt.Errorf("sbc: channel mode %d unsupported", c.Mode)
+	}
+	return nil
+}
+
+// SamplesPerFrame returns PCM samples consumed per frame per channel.
+func (c Config) SamplesPerFrame() int { return c.Blocks * c.Subbands }
+
+// FrameBytes returns the encoded frame size in bytes.
+func (c Config) FrameBytes() int {
+	nch := c.Mode.Channels()
+	bitsTotal := 32 + 4*c.Subbands*nch // header+CRC + scale factors
+	bitsTotal += c.Blocks * c.Bitpool * nch
+	return (bitsTotal + 7) / 8
+}
+
+// BitrateKbps returns the stream bitrate.
+func (c Config) BitrateKbps() float64 {
+	return float64(c.FrameBytes()*8) * float64(c.Freq.Hz()) / float64(c.SamplesPerFrame()) / 1000
+}
+
+// frameCRC is the SBC CRC-8: G(X)=X⁸+X⁴+X³+X²+1, initial value 0x0F.
+var frameCRC = bits.CRC{Width: 8, Poly: 0x1D, Init: 0x0F}
+
+// loudnessOffset approximates the spec's perceptual offset tables: low
+// subbands get a negative offset (more bits), the top subbands positive.
+// Derived, not copied (see the package comment).
+func loudnessOffset(sb, subbands int) int {
+	switch {
+	case sb == 0:
+		return -2
+	case sb < subbands/2:
+		return -1
+	case sb >= subbands-2:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Encoder turns PCM into SBC frames.
+type Encoder struct {
+	cfg Config
+	fb  []*Filterbank // one per channel
+}
+
+// NewEncoder validates the configuration and builds the encoder.
+func NewEncoder(cfg Config) (*Encoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Encoder{cfg: cfg}
+	for ch := 0; ch < cfg.Mode.Channels(); ch++ {
+		fb, err := NewFilterbank(cfg.Subbands)
+		if err != nil {
+			return nil, err
+		}
+		e.fb = append(e.fb, fb)
+	}
+	return e, nil
+}
+
+// Config returns the encoder configuration.
+func (e *Encoder) Config() Config { return e.cfg }
+
+// allocateBits implements the SBC allocation loop: each subband's
+// "bitneed" derives from its scale factor (minus a loudness offset), then
+// bits are handed out one at a time to the neediest subband until the
+// bitpool is spent, with per-subband limits of [2,16] once selected.
+func allocateBits(scf []int, alloc AllocMethod, subbands, bitpool int) []int {
+	need := make([]int, subbands)
+	for sb := range need {
+		need[sb] = scf[sb]
+		if alloc == Loudness {
+			need[sb] -= loudnessOffset(sb, subbands)
+		}
+	}
+	out := make([]int, subbands)
+	remaining := bitpool
+	for remaining > 0 {
+		best, bestScore := -1, math.MinInt32
+		for sb := range out {
+			if out[sb] >= 16 {
+				continue
+			}
+			score := need[sb] - out[sb]
+			if out[sb] == 0 {
+				// Entering a subband costs 2 bits; only worth it if the
+				// band has signal and the pool affords it.
+				if scf[sb] == 0 || remaining < 2 {
+					continue
+				}
+			}
+			if score > bestScore {
+				best, bestScore = sb, score
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if out[best] == 0 {
+			out[best] = 2
+			remaining -= 2
+		} else {
+			out[best]++
+			remaining--
+		}
+	}
+	return out
+}
+
+// scfHeadroom maps scale-factor exponents onto the subband-sample range:
+// quantizer full scale is scfHeadroom·2^(scf+1), covering peaks up to 2²⁰
+// (PCM ±32768 through the ≤M-gain filterbank) with scf ∈ [0,15].
+const scfHeadroom = 16.0
+
+// scaleFactor returns the smallest exponent whose full scale covers the
+// block peak, 0–15.
+func scaleFactor(samples []float64) int {
+	var peak float64
+	for _, s := range samples {
+		if a := math.Abs(s); a > peak {
+			peak = a
+		}
+	}
+	scf := 0
+	for scf < 15 && peak >= scfHeadroom*math.Pow(2, float64(scf+1)) {
+		scf++
+	}
+	if peak < scfHeadroom { // silence: stay at 0 but flag via peak check
+		return 0
+	}
+	return scf
+}
+
+// fullScale is the quantizer range for a scale factor.
+func fullScale(scf int) float64 { return scfHeadroom * math.Pow(2, float64(scf+1)) }
+
+// Encode consumes exactly SamplesPerFrame() PCM samples per channel
+// (pcm[channel][sample], values nominally within ±32767) and emits one
+// SBC frame.
+func (e *Encoder) Encode(pcm [][]float64) ([]byte, error) {
+	nch := e.cfg.Mode.Channels()
+	if len(pcm) != nch {
+		return nil, fmt.Errorf("sbc: %d channels, want %d", len(pcm), nch)
+	}
+	spf := e.cfg.SamplesPerFrame()
+	for ch := range pcm {
+		if len(pcm[ch]) != spf {
+			return nil, fmt.Errorf("sbc: channel %d has %d samples, want %d", ch, len(pcm[ch]), spf)
+		}
+	}
+	m := e.cfg.Subbands
+	// Subband analysis: sub[ch][block][sb].
+	sub := make([][][]float64, nch)
+	for ch := 0; ch < nch; ch++ {
+		sub[ch] = make([][]float64, e.cfg.Blocks)
+		for b := 0; b < e.cfg.Blocks; b++ {
+			s, err := e.fb[ch].Analyze(pcm[ch][b*m : (b+1)*m])
+			if err != nil {
+				return nil, err
+			}
+			sub[ch][b] = s
+		}
+	}
+
+	// Scale factors per channel and subband, over the frame's blocks.
+	scf := make([][]int, nch)
+	for ch := 0; ch < nch; ch++ {
+		scf[ch] = make([]int, m)
+		for sb := 0; sb < m; sb++ {
+			col := make([]float64, e.cfg.Blocks)
+			for b := range col {
+				col[b] = sub[ch][b][sb]
+			}
+			scf[ch][sb] = scaleFactor(col)
+		}
+	}
+
+	w := bits.NewMSBWriter()
+	w.Uint(Syncword, 8)
+	w.Uint(uint64(e.cfg.Freq), 2)
+	w.Uint(uint64(e.cfg.Blocks/4-1), 2)
+	w.Uint(uint64(e.cfg.Mode), 2)
+	w.Uint(uint64(e.cfg.Alloc), 1)
+	w.Uint(uint64(e.cfg.Subbands/4-1), 1)
+	w.Uint(uint64(e.cfg.Bitpool), 8)
+	// Scale factors (4 bits each) precede the CRC computation per spec:
+	// CRC covers header fields after the syncword plus the scale factors.
+	crcW := bits.NewMSBWriter()
+	crcW.Uint(uint64(e.cfg.Freq), 2)
+	crcW.Uint(uint64(e.cfg.Blocks/4-1), 2)
+	crcW.Uint(uint64(e.cfg.Mode), 2)
+	crcW.Uint(uint64(e.cfg.Alloc), 1)
+	crcW.Uint(uint64(e.cfg.Subbands/4-1), 1)
+	crcW.Uint(uint64(e.cfg.Bitpool), 8)
+	for ch := 0; ch < nch; ch++ {
+		for sb := 0; sb < m; sb++ {
+			crcW.Uint(uint64(scf[ch][sb]), 4)
+		}
+	}
+	w.Uint(frameCRC.Compute(crcW.BitSlice()), 8)
+	for ch := 0; ch < nch; ch++ {
+		for sb := 0; sb < m; sb++ {
+			w.Uint(uint64(scf[ch][sb]), 4)
+		}
+	}
+
+	// Quantize: midtread, levels = 2^bits − 1 (spec §12.6.4 structure).
+	for ch := 0; ch < nch; ch++ {
+		ab := allocateBits(scf[ch], e.cfg.Alloc, m, e.cfg.Bitpool)
+		for b := 0; b < e.cfg.Blocks; b++ {
+			for sb := 0; sb < m; sb++ {
+				nb := ab[sb]
+				if nb == 0 {
+					continue
+				}
+				levels := float64(int(1)<<uint(nb)) - 1
+				x := sub[ch][b][sb] / fullScale(scf[ch][sb]) // within ±1
+				q := math.Floor((x + 1) * levels / 2)
+				if q < 0 {
+					q = 0
+				}
+				if q > levels {
+					q = levels
+				}
+				w.Uint(uint64(q), nb)
+			}
+		}
+	}
+	// Keep frames fixed-size: the allocator may underuse the pool for
+	// quiet subbands, but the A2DP stream format (and FrameBytes) assume
+	// Blocks·Bitpool bits of audio payload per channel.
+	want := 32 + 4*m*nch + e.cfg.Blocks*e.cfg.Bitpool*nch
+	for w.Len() < want {
+		w.Uint(0, 1)
+	}
+	return w.Bytes()
+}

@@ -1,0 +1,124 @@
+package sbc
+
+import (
+	"fmt"
+
+	"bluefi/internal/bits"
+)
+
+// Decoder turns SBC frames back into PCM.
+type Decoder struct {
+	cfg Config
+	fb  []*Filterbank
+}
+
+// NewDecoder builds a decoder; the configuration is re-verified against
+// each frame's header.
+func NewDecoder(cfg Config) (*Decoder, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Decoder{cfg: cfg}
+	for ch := 0; ch < cfg.Mode.Channels(); ch++ {
+		fb, err := NewFilterbank(cfg.Subbands)
+		if err != nil {
+			return nil, err
+		}
+		d.fb = append(d.fb, fb)
+	}
+	return d, nil
+}
+
+// ParseHeader reads and validates a frame header, returning its Config.
+func ParseHeader(frame []byte) (Config, error) {
+	if len(frame) < 4 {
+		return Config{}, fmt.Errorf("sbc: frame of %d bytes too short", len(frame))
+	}
+	r := bits.NewMSBReader(frame)
+	if sync := r.Uint(8); sync != Syncword {
+		return Config{}, fmt.Errorf("sbc: bad syncword %#02x", sync)
+	}
+	cfg := Config{
+		Freq: SamplingFreq(r.Uint(2)),
+	}
+	cfg.Blocks = (int(r.Uint(2)) + 1) * 4
+	cfg.Mode = ChannelMode(r.Uint(2))
+	cfg.Alloc = AllocMethod(r.Uint(1))
+	cfg.Subbands = (int(r.Uint(1)) + 1) * 4
+	cfg.Bitpool = int(r.Uint(8))
+	if err := r.Err(); err != nil {
+		return Config{}, err
+	}
+	return cfg, cfg.Validate()
+}
+
+// Decode parses one frame and returns pcm[channel][sample]. The frame's
+// CRC is verified against the header and scale factors.
+func (d *Decoder) Decode(frame []byte) ([][]float64, error) {
+	cfg, err := ParseHeader(frame)
+	if err != nil {
+		return nil, err
+	}
+	if cfg != d.cfg {
+		return nil, fmt.Errorf("sbc: frame config %+v does not match decoder %+v", cfg, d.cfg)
+	}
+	if len(frame) < cfg.FrameBytes() {
+		return nil, fmt.Errorf("sbc: frame truncated: %d bytes, need %d", len(frame), cfg.FrameBytes())
+	}
+	r := bits.NewMSBReader(frame)
+	r.Uint(8) // syncword
+	crcW := bits.NewMSBWriter()
+	crcW.Uint(r.Uint(2), 2)
+	crcW.Uint(r.Uint(2), 2)
+	crcW.Uint(r.Uint(2), 2)
+	crcW.Uint(r.Uint(1), 1)
+	crcW.Uint(r.Uint(1), 1)
+	crcW.Uint(r.Uint(8), 8)
+	gotCRC := r.Uint(8)
+
+	nch := cfg.Mode.Channels()
+	m := cfg.Subbands
+	scf := make([][]int, nch)
+	for ch := 0; ch < nch; ch++ {
+		scf[ch] = make([]int, m)
+		for sb := 0; sb < m; sb++ {
+			v := r.Uint(4)
+			scf[ch][sb] = int(v)
+			crcW.Uint(v, 4)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if want := frameCRC.Compute(crcW.BitSlice()); want != gotCRC {
+		return nil, fmt.Errorf("sbc: CRC mismatch (got %#02x want %#02x)", gotCRC, want)
+	}
+
+	pcm := make([][]float64, nch)
+	for ch := 0; ch < nch; ch++ {
+		ab := allocateBits(scf[ch], cfg.Alloc, m, cfg.Bitpool)
+		sub := make([]float64, m)
+		for b := 0; b < cfg.Blocks; b++ {
+			for sb := 0; sb < m; sb++ {
+				nb := ab[sb]
+				if nb == 0 {
+					sub[sb] = 0
+					continue
+				}
+				levels := float64(int(1)<<uint(nb)) - 1
+				q := float64(r.Uint(nb))
+				x := (2*q+1)/levels - 1
+				sub[sb] = x * fullScale(scf[ch][sb])
+			}
+			out, err := d.fb[ch].Synthesize(sub)
+			if err != nil {
+				return nil, err
+			}
+			pcm[ch] = append(pcm[ch], out...)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return pcm, nil
+}

@@ -1,0 +1,299 @@
+package sbc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFilterbankPerfectReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{4, 8} {
+		an, _ := NewFilterbank(m)
+		syn, _ := NewFilterbank(m)
+		nBlocks := 100
+		in := make([]float64, nBlocks*m)
+		for i := range in {
+			in[i] = rng.NormFloat64() * 10000
+		}
+		var out []float64
+		for b := 0; b < nBlocks; b++ {
+			sub, err := an.Analyze(in[b*m : (b+1)*m])
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, err := syn.Synthesize(sub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, rec...)
+		}
+		// One block of delay: out[m:] should equal in[:len-m].
+		var sig, errp float64
+		for i := 0; i+m < len(in); i++ {
+			d := out[i+m] - in[i]
+			sig += in[i] * in[i]
+			errp += d * d
+		}
+		snr := 10 * math.Log10(sig/errp)
+		if snr < 100 {
+			t.Fatalf("M=%d: reconstruction SNR %.1f dB, want ≈ perfect", m, snr)
+		}
+	}
+}
+
+func TestFilterbankRejectsBadSizes(t *testing.T) {
+	if _, err := NewFilterbank(6); err == nil {
+		t.Error("accepted 6 subbands")
+	}
+	fb, _ := NewFilterbank(4)
+	if _, err := fb.Analyze(make([]float64, 5)); err == nil {
+		t.Error("accepted wrong analyze size")
+	}
+	if _, err := fb.Synthesize(make([]float64, 3)); err == nil {
+		t.Error("accepted wrong synthesize size")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Freq: Freq44k, Blocks: 5, Mode: Stereo, Subbands: 8, Bitpool: 35},
+		{Freq: Freq44k, Blocks: 16, Mode: Stereo, Subbands: 5, Bitpool: 35},
+		{Freq: Freq44k, Blocks: 16, Mode: Stereo, Subbands: 8, Bitpool: 1},
+		{Freq: Freq44k, Blocks: 16, Mode: Stereo, Subbands: 8, Bitpool: 251},
+		{Freq: Freq44k, Blocks: 16, Mode: 3, Subbands: 8, Bitpool: 35},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, c)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameBytesAndBitrate(t *testing.T) {
+	cfg := DefaultConfig() // 44.1k stereo, 16 blocks, 8 subbands, bitpool 35
+	// bits = 32 + 4·8·2 + 16·35·2 = 32+64+1120 = 1216 → 152 bytes.
+	if got := cfg.FrameBytes(); got != 152 {
+		t.Fatalf("FrameBytes = %d, want 152", got)
+	}
+	// 152 B per 128 samples at 44.1 kHz → ≈ 419 kbit/s.
+	if br := cfg.BitrateKbps(); br < 410 || br < 0 || br > 430 {
+		t.Fatalf("bitrate %.1f kbps, want ≈419", br)
+	}
+	mono := Config{Freq: Freq16k, Blocks: 8, Mode: Mono, Subbands: 4, Bitpool: 16}
+	// bits = 32 + 4·4 + 8·16 = 176 → 22 bytes.
+	if got := mono.FrameBytes(); got != 22 {
+		t.Fatalf("mono FrameBytes = %d, want 22", got)
+	}
+}
+
+// encodeDecode runs PCM through a fresh codec pair frame by frame.
+func encodeDecode(t *testing.T, cfg Config, pcm [][]float64) [][]float64 {
+	t.Helper()
+	enc, err := NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewDecoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nch := cfg.Mode.Channels()
+	spf := cfg.SamplesPerFrame()
+	out := make([][]float64, nch)
+	for off := 0; off+spf <= len(pcm[0]); off += spf {
+		in := make([][]float64, nch)
+		for ch := range in {
+			in[ch] = pcm[ch][off : off+spf]
+		}
+		frame, err := enc.Encode(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frame) != cfg.FrameBytes() {
+			t.Fatalf("frame %d bytes, want %d", len(frame), cfg.FrameBytes())
+		}
+		rec, err := dec.Decode(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ch := range rec {
+			out[ch] = append(out[ch], rec[ch]...)
+		}
+	}
+	return out
+}
+
+func codecSNR(in, out []float64, delay int) float64 {
+	var sig, errp float64
+	for i := 0; i+delay < len(out) && i < len(in); i++ {
+		d := out[i+delay] - in[i]
+		sig += in[i] * in[i]
+		errp += d * d
+	}
+	if errp == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(sig/errp)
+}
+
+func TestCodecRoundTripMusicLikeSignal(t *testing.T) {
+	cfg := DefaultConfig()
+	n := cfg.SamplesPerFrame() * 40
+	pcm := make([][]float64, 2)
+	for ch := range pcm {
+		pcm[ch] = make([]float64, n)
+		for i := range pcm[ch] {
+			tt := float64(i)
+			pcm[ch][i] = 9000*math.Sin(2*math.Pi*440/44100*tt) +
+				5000*math.Sin(2*math.Pi*1200/44100*tt+float64(ch)) +
+				2000*math.Sin(2*math.Pi*3700/44100*tt)
+		}
+	}
+	out := encodeDecode(t, cfg, pcm)
+	for ch := range out {
+		snr := codecSNR(pcm[ch], out[ch], cfg.Subbands)
+		if snr < 18 {
+			t.Fatalf("channel %d: codec SNR %.1f dB, want ≥ 18", ch, snr)
+		}
+	}
+}
+
+func TestCodecMono4Subbands(t *testing.T) {
+	cfg := Config{Freq: Freq32k, Blocks: 8, Mode: Mono, Alloc: SNR, Subbands: 4, Bitpool: 24}
+	n := cfg.SamplesPerFrame() * 30
+	pcm := [][]float64{make([]float64, n)}
+	for i := range pcm[0] {
+		pcm[0][i] = 12000 * math.Sin(2*math.Pi*500/32000*float64(i))
+	}
+	out := encodeDecode(t, cfg, pcm)
+	if snr := codecSNR(pcm[0], out[0], cfg.Subbands); snr < 15 {
+		t.Fatalf("codec SNR %.1f dB, want ≥ 15", snr)
+	}
+}
+
+func TestCodecSilence(t *testing.T) {
+	cfg := DefaultConfig()
+	pcm := [][]float64{make([]float64, cfg.SamplesPerFrame()), make([]float64, cfg.SamplesPerFrame())}
+	out := encodeDecode(t, cfg, pcm)
+	for ch := range out {
+		for i, v := range out[ch] {
+			if math.Abs(v) > 40 { // quantizer floor
+				t.Fatalf("channel %d sample %d = %g on silence", ch, i, v)
+			}
+		}
+	}
+}
+
+func TestDecoderRejectsCorruptFrames(t *testing.T) {
+	cfg := DefaultConfig()
+	enc, _ := NewEncoder(cfg)
+	dec, _ := NewDecoder(cfg)
+	pcm := [][]float64{make([]float64, cfg.SamplesPerFrame()), make([]float64, cfg.SamplesPerFrame())}
+	for ch := range pcm {
+		for i := range pcm[ch] {
+			pcm[ch][i] = 5000 * math.Sin(float64(i)/7)
+		}
+	}
+	frame, err := enc.Encode(pcm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the syncword.
+	bad := append([]byte{}, frame...)
+	bad[0] = 0x00
+	if _, err := dec.Decode(bad); err == nil {
+		t.Error("accepted bad syncword")
+	}
+	// Corrupt a scale factor: CRC must catch it.
+	bad2 := append([]byte{}, frame...)
+	bad2[4] ^= 0x10
+	if _, err := dec.Decode(bad2); err == nil {
+		t.Error("accepted corrupted scale factors")
+	}
+	// Truncated frame.
+	if _, err := dec.Decode(frame[:8]); err == nil {
+		t.Error("accepted truncated frame")
+	}
+}
+
+func TestParseHeaderRoundTrip(t *testing.T) {
+	cfg := Config{Freq: Freq48k, Blocks: 12, Mode: Mono, Alloc: SNR, Subbands: 4, Bitpool: 20}
+	enc, _ := NewEncoder(cfg)
+	pcm := [][]float64{make([]float64, cfg.SamplesPerFrame())}
+	frame, err := enc.Encode(pcm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHeader(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatalf("header %+v, want %+v", got, cfg)
+	}
+	if _, err := ParseHeader([]byte{1, 2}); err == nil {
+		t.Error("accepted short frame")
+	}
+}
+
+func TestAllocateBitsRespectsBitpool(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 200; trial++ {
+		m := 4
+		if trial%2 == 0 {
+			m = 8
+		}
+		scf := make([]int, m)
+		for i := range scf {
+			scf[i] = rng.Intn(16)
+		}
+		pool := 2 + rng.Intn(120)
+		for _, method := range []AllocMethod{Loudness, SNR} {
+			ab := allocateBits(scf, method, m, pool)
+			total := 0
+			for sb, b := range ab {
+				if b != 0 && (b < 2 || b > 16) {
+					t.Fatalf("subband %d allocated %d bits", sb, b)
+				}
+				total += b
+			}
+			if total > pool {
+				t.Fatalf("allocated %d bits over pool %d", total, pool)
+			}
+		}
+	}
+}
+
+func TestSamplesPerFrameAndDuration(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.SamplesPerFrame() != 128 {
+		t.Fatalf("SamplesPerFrame = %d", cfg.SamplesPerFrame())
+	}
+	// Frame duration at 44.1 kHz ≈ 2.9 ms — several frames fit in one
+	// 5-slot Bluetooth packet's payload, as the audio app requires.
+	dur := float64(cfg.SamplesPerFrame()) / float64(cfg.Freq.Hz())
+	if dur < 0.0028 || dur > 0.0030 {
+		t.Fatalf("frame duration %.4f s", dur)
+	}
+}
+
+func BenchmarkEncodeFrame(b *testing.B) {
+	cfg := DefaultConfig()
+	enc, _ := NewEncoder(cfg)
+	pcm := [][]float64{make([]float64, cfg.SamplesPerFrame()), make([]float64, cfg.SamplesPerFrame())}
+	for ch := range pcm {
+		for i := range pcm[ch] {
+			pcm[ch][i] = 8000 * math.Sin(float64(i)/5)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := enc.Encode(pcm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

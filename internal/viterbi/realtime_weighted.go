@@ -1,0 +1,123 @@
+package viterbi
+
+import "fmt"
+
+// Weighted real-time inversion with conflict steering.
+//
+// RealTimeInvert protects A2 plus one of {A1,B1} per triplet, which fails
+// when both A1 and B1 map to important subcarriers: they share the input
+// bit u1, so (A1,B1) can only be matched jointly when the target parity
+// a1⊕b1 equals fA(s)⊕fB(s) — a property of the encoder state s. That
+// parity is s₀⊕s₄ = u2(t−1)⊕u2(t−3): it is controlled by the second input
+// bits of earlier triplets. Where those triplets are unimportant, their
+// A2 can be sacrificed (a don't-care flip) to steer the state so the
+// conflict triplet matches both bits exactly. With one triplet of
+// lookahead this stays O(1) per triplet and removes nearly all important
+// flips — the practical equivalent of the paper's precomputed-table
+// construction, which likewise confines flips to don't-care regions.
+
+// RTWeights configures the weighted inverter: one weight per coded bit
+// and the threshold at or above which a position counts as important.
+type RTWeights struct {
+	W            []float64
+	ImportantMin float64
+}
+
+// RealTimeInvertWeighted recovers input bits whose rate-2/3 encoding
+// matches coded at important positions wherever the code algebra allows,
+// steering encoder state ahead of conflict triplets. Semantics of coded,
+// pinnedPrefix and pinnedSuffix match RealTimeInvert.
+func RealTimeInvertWeighted(coded []byte, w RTWeights, pinnedPrefix, pinnedSuffix []byte) (RealTimeResult, error) {
+	if len(coded)%3 != 0 {
+		return RealTimeResult{}, fmt.Errorf("viterbi: real-time input of %d bits, want multiple of 3", len(coded))
+	}
+	nTrip := len(coded) / 3
+	nInfo := 2 * nTrip
+	if w.W != nil && len(w.W) != len(coded) {
+		return RealTimeResult{}, fmt.Errorf("viterbi: %d weights for %d coded bits", len(w.W), len(coded))
+	}
+	if len(pinnedPrefix)%2 != 0 || len(pinnedSuffix)%2 != 0 {
+		return RealTimeResult{}, fmt.Errorf("viterbi: pinned prefix (%d) and suffix (%d) must be even",
+			len(pinnedPrefix), len(pinnedSuffix))
+	}
+	if len(pinnedPrefix)+len(pinnedSuffix) > nInfo {
+		return RealTimeResult{}, fmt.Errorf("viterbi: pinned %d+%d bits exceed %d inputs",
+			len(pinnedPrefix), len(pinnedSuffix), nInfo)
+	}
+	weight := func(i int) float64 {
+		if w.W == nil {
+			return 1
+		}
+		return w.W[i]
+	}
+	important := func(i int) bool {
+		return w.ImportantMin > 0 && weight(i) >= w.ImportantMin
+	}
+	pinnedTriplet := func(t int) bool {
+		infoIdx := 2 * t
+		return infoIdx < len(pinnedPrefix) || infoIdx >= nInfo-len(pinnedSuffix)
+	}
+	conflict := func(t int) bool {
+		return t < nTrip && !pinnedTriplet(t) && important(3*t) && important(3*t+1)
+	}
+
+	res := RealTimeResult{Info: make([]byte, 0, nInfo)}
+	var s uint8
+	flip := func(idx int) { res.Flips = append(res.Flips, idx) }
+
+	for t := 0; t < nTrip; t++ {
+		base := 3 * t
+		a1, b1, a2 := coded[base]&1, coded[base+1]&1, coded[base+2]&1
+		infoIdx := 2 * t
+
+		var u1, u2 byte
+		switch {
+		case infoIdx < len(pinnedPrefix):
+			u1 = pinnedPrefix[infoIdx] & 1
+			u2 = pinnedPrefix[infoIdx+1] & 1
+		case infoIdx >= nInfo-len(pinnedSuffix):
+			u1 = pinnedSuffix[infoIdx-(nInfo-len(pinnedSuffix))] & 1
+			u2 = pinnedSuffix[infoIdx+1-(nInfo-len(pinnedSuffix))] & 1
+		default:
+			// Choose u1: match both when the state allows, else protect
+			// the heavier of A1/B1.
+			if fA(s)^fB(s) == a1^b1 || weight(base) >= weight(base+1) {
+				u1 = a1 ^ fA(s)
+			} else {
+				u1 = b1 ^ fB(s)
+			}
+			// Choose u2: steer the next conflict triplet when A2 here is
+			// expendable; otherwise match A2.
+			s1 := nextState(s, u1)
+			u2 = a2 ^ fA(s1)
+			if conflict(t+1) && !important(base+2) {
+				// Need u2(t) ⊕ u2(t−2) = a1(t+1) ⊕ b1(t+1) ⊕ fA⊕fB-free
+				// part: after triplet t, state bits s₀=u2(t), s₄=u2(t−2);
+				// the conflict check uses parity(s & 0x11) = u2(t)⊕u2(t−2).
+				var u2Prev2 byte
+				if idx := 2*(t-2) + 1; idx >= 0 {
+					u2Prev2 = res.Info[idx]
+				}
+				want := (coded[3*(t+1)] ^ coded[3*(t+1)+1]) & 1
+				u2 = want ^ u2Prev2
+			}
+		}
+
+		oa, ob := outputs(s, u1)
+		if oa != a1 {
+			flip(base)
+		}
+		if ob != b1 {
+			flip(base + 1)
+		}
+		s = nextState(s, u1)
+		oa2, _ := outputs(s, u2)
+		if oa2 != a2 {
+			flip(base + 2)
+		}
+		s = nextState(s, u2)
+		res.Info = append(res.Info, u1, u2)
+	}
+	res.FinalState = s
+	return res, nil
+}

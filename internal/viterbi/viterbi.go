@@ -1,0 +1,192 @@
+// Package viterbi inverts the 802.11 convolutional encoder for BlueFi's
+// I4 compensation (paper §2.7). It provides two decoders:
+//
+//   - Decode: a weighted hard-decision Viterbi over the rate-1/2 mother
+//     code with per-position weights, erasures at punctured positions, and
+//     pinned head/tail input bits. Weights let BlueFi make bits that map
+//     to Bluetooth-occupied subcarriers effectively unflippable (Table 1).
+//
+//   - RealTimeInvert: the O(T) exact-match inverse coder for rate 2/3. In
+//     each output triplet (A1,B1,A2) both generator polynomials tap the
+//     current input bit, so fixing A2 plus one of {A1,B1} determines the
+//     two input bits by back-substitution — two of three coded bits are
+//     reproduced exactly and the possible flip is steered onto the
+//     remaining one. This realizes the paper's "at most 1/3 of bits flip,
+//     important bits never" guarantee with O(1) work per triplet.
+//
+// The encoder definition is self-contained (the same K=7 (133,171)₈ code
+// as package wifi) so the two packages stay independent; a cross-check
+// test asserts they agree.
+package viterbi
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+const (
+	numStates = 64
+	genA      = 0x6D // taps {0,2,3,5,6}, bit k = input k steps ago
+	genB      = 0x4F // taps {0,1,2,3,6}
+)
+
+// outputs returns the (A,B) pair for input u at state s.
+func outputs(s uint8, u byte) (byte, byte) {
+	full := uint(s)<<1 | uint(u&1)
+	return byte(bits.OnesCount(full&genA) & 1), byte(bits.OnesCount(full&genB) & 1)
+}
+
+func nextState(s uint8, u byte) uint8 {
+	return uint8((uint(s)<<1 | uint(u&1)) & 0x3F)
+}
+
+// Encode runs the rate-1/2 mother code from state init, emitting A then B
+// per input bit, and returns the coded bits and final state.
+func Encode(in []byte, init uint8) ([]byte, uint8) {
+	out := make([]byte, 0, 2*len(in))
+	s := init & 0x3F
+	for _, u := range in {
+		a, b := outputs(s, u)
+		out = append(out, a, b)
+		s = nextState(s, u)
+	}
+	return out, s
+}
+
+// Input describes one weighted decoding problem over mother-code
+// positions (two per information bit, A first).
+type Input struct {
+	// Bits holds the target mother-code bits; its length must be even.
+	Bits []byte
+	// Weight holds one non-negative weight per mother position. A zero
+	// weight marks an erasure (punctured or don't-care position). nil
+	// means all weights are 1.
+	Weight []float64
+	// PinnedPrefix forces the first input bits to known values (BlueFi
+	// pins the scrambled SERVICE field).
+	PinnedPrefix []byte
+	// PinnedSuffix forces the last input bits to known values: the
+	// convolutional tail (six zeros) optionally followed by pad bits
+	// pinned to the scrambler sequence.
+	PinnedSuffix []byte
+}
+
+// PinnedSuffixZeros returns a suffix of n zero bits, the common tail case.
+func PinnedSuffixZeros(n int) []byte { return make([]byte, n) }
+
+// Decode finds input bits minimizing the weighted Hamming distance between
+// the re-encoded output and in.Bits. It returns the information bits
+// (length len(Bits)/2).
+func Decode(in Input) ([]byte, error) {
+	if len(in.Bits)%2 != 0 {
+		return nil, fmt.Errorf("viterbi: %d mother bits, want even", len(in.Bits))
+	}
+	n := len(in.Bits) / 2
+	if in.Weight != nil && len(in.Weight) != len(in.Bits) {
+		return nil, fmt.Errorf("viterbi: %d weights for %d positions", len(in.Weight), len(in.Bits))
+	}
+	if len(in.PinnedPrefix)+len(in.PinnedSuffix) > n {
+		return nil, fmt.Errorf("viterbi: pinned %d+%d bits exceed %d inputs",
+			len(in.PinnedPrefix), len(in.PinnedSuffix), n)
+	}
+	weight := func(pos int) float64 {
+		if in.Weight == nil {
+			return 1
+		}
+		return in.Weight[pos]
+	}
+
+	metric := make([]float64, numStates)
+	next := make([]float64, numStates)
+	for s := range metric {
+		metric[s] = math.Inf(1)
+	}
+	metric[0] = 0
+	// survivors[t][s] = predecessor state of the best path entering state
+	// s after input t. The input bit itself is bit 0 of s (state = six
+	// most recent inputs, newest in bit 0).
+	survivors := make([][numStates]uint8, n)
+
+	for t := 0; t < n; t++ {
+		for s := range next {
+			next[s] = math.Inf(1)
+		}
+		var forced int8 = -1
+		switch {
+		case t < len(in.PinnedPrefix):
+			forced = int8(in.PinnedPrefix[t] & 1)
+		case t >= n-len(in.PinnedSuffix):
+			forced = int8(in.PinnedSuffix[t-(n-len(in.PinnedSuffix))] & 1)
+		}
+		ta, tb := in.Bits[2*t]&1, in.Bits[2*t+1]&1
+		wa, wb := weight(2*t), weight(2*t+1)
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if math.IsInf(m, 1) {
+				continue
+			}
+			for u := byte(0); u <= 1; u++ {
+				if forced >= 0 && u != byte(forced) {
+					continue
+				}
+				a, b := outputs(uint8(s), u)
+				cost := m
+				if a != ta {
+					cost += wa
+				}
+				if b != tb {
+					cost += wb
+				}
+				ns := nextState(uint8(s), u)
+				if cost < next[ns] {
+					next[ns] = cost
+					survivors[t][ns] = uint8(s)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	// Select the best terminal state; pinned suffix bits already restrict
+	// the reachable set (six zero tail bits force state 0).
+	best := 0
+	bestM := math.Inf(1)
+	for s, m := range metric {
+		if m < bestM {
+			bestM, best = m, s
+		}
+	}
+	if math.IsInf(metric[best], 1) {
+		return nil, fmt.Errorf("viterbi: no path satisfies the pinned bits")
+	}
+
+	// Traceback: input t is bit 0 of the state entered after step t.
+	info := make([]byte, n)
+	s := uint8(best)
+	for t := n - 1; t >= 0; t-- {
+		info[t] = s & 1
+		s = survivors[t][s]
+	}
+	return info, nil
+}
+
+// Cost re-encodes info and returns the weighted Hamming distance to the
+// target, using the same conventions as Decode.
+func Cost(info, target []byte, weight []float64) float64 {
+	coded, _ := Encode(info, 0)
+	var c float64
+	for i := range coded {
+		if i >= len(target) {
+			break
+		}
+		if coded[i] != target[i]&1 {
+			if weight == nil {
+				c++
+			} else {
+				c += weight[i]
+			}
+		}
+	}
+	return c
+}

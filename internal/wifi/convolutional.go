@@ -1,0 +1,173 @@
+package wifi
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// The 802.11 binary convolutional code: constraint length K=7, generator
+// polynomials g0 = 133₈ = 1+D²+D³+D⁵+D⁶ and g1 = 171₈ = 1+D+D²+D³+D⁶.
+//
+// Register convention used throughout this repository: a 7-bit register r
+// whose bit k holds the input bit from k steps ago (bit 0 = current input).
+// The 64-state trellis state is r>>1 restricted to 6 bits — equivalently,
+// state = the 6 most recent inputs with the newest in bit 0.
+const (
+	// ConvK is the constraint length.
+	ConvK = 7
+	// ConvStates is the number of trellis states.
+	ConvStates = 64
+	// genA and genB are tap masks under the bit-k-equals-delay-k register
+	// convention (delays {0,2,3,5,6} and {0,1,2,3,6}).
+	genA = 0x6D
+	genB = 0x4F
+)
+
+// ConvOutputs returns the (A, B) coded bit pair produced when input bit u
+// enters the encoder at 6-bit state s.
+func ConvOutputs(s uint8, u byte) (a, b byte) {
+	full := uint(s)<<1 | uint(u&1)
+	a = byte(bits.OnesCount(full&genA) & 1)
+	b = byte(bits.OnesCount(full&genB) & 1)
+	return a, b
+}
+
+// ConvNextState returns the encoder state after input bit u at state s.
+func ConvNextState(s uint8, u byte) uint8 {
+	return uint8((uint(s)<<1|uint(u&1))&0x3F) & 0x3F
+}
+
+// ConvEncode runs the rate-1/2 mother code from state 0, emitting A then B
+// for each input bit (2·len(in) output bits).
+func ConvEncode(in []byte) []byte {
+	out := make([]byte, 0, 2*len(in))
+	var s uint8
+	for _, u := range in {
+		a, b := ConvOutputs(s, u)
+		out = append(out, a, b)
+		s = ConvNextState(s, u)
+	}
+	return out
+}
+
+// CodeRate identifies a puncturing configuration of the mother code.
+type CodeRate int
+
+// Supported 802.11 code rates.
+const (
+	Rate1_2 CodeRate = iota
+	Rate2_3
+	Rate3_4
+	Rate5_6
+)
+
+func (r CodeRate) String() string {
+	switch r {
+	case Rate1_2:
+		return "1/2"
+	case Rate2_3:
+		return "2/3"
+	case Rate3_4:
+		return "3/4"
+	case Rate5_6:
+		return "5/6"
+	}
+	return fmt.Sprintf("CodeRate(%d)", int(r))
+}
+
+// Fraction returns the rate as (input bits, output bits) per puncture
+// period.
+func (r CodeRate) Fraction() (in, out int) {
+	switch r {
+	case Rate1_2:
+		return 1, 2
+	case Rate2_3:
+		return 2, 3
+	case Rate3_4:
+		return 3, 4
+	case Rate5_6:
+		return 5, 6
+	}
+	panic(fmt.Sprintf("wifi: unknown code rate %d", int(r)))
+}
+
+// puncturePattern returns, per input-bit position within the period,
+// whether the A and B mother-code outputs are transmitted. Patterns follow
+// IEEE 802.11-2016 Fig. 17-9 / 17-10 (A1 B1 A2 for 2/3; A1 B1 A2 B3 for
+// 3/4; A1 B1 A2 B3 A4 B5 for 5/6).
+func (r CodeRate) puncturePattern() (keepA, keepB []bool) {
+	switch r {
+	case Rate1_2:
+		return []bool{true}, []bool{true}
+	case Rate2_3:
+		return []bool{true, true}, []bool{true, false}
+	case Rate3_4:
+		return []bool{true, true, false}, []bool{true, false, true}
+	case Rate5_6:
+		return []bool{true, true, false, true, false}, []bool{true, false, true, false, true}
+	}
+	panic(fmt.Sprintf("wifi: unknown code rate %d", int(r)))
+}
+
+// Puncture drops the stolen bits from a rate-1/2 mother-code output
+// (alternating A,B) to achieve the target rate. len(mother) must be even.
+func Puncture(mother []byte, r CodeRate) []byte {
+	keepA, keepB := r.puncturePattern()
+	p := len(keepA)
+	out := make([]byte, 0, len(mother))
+	for i := 0; i*2 < len(mother); i++ {
+		k := i % p
+		if keepA[k] {
+			out = append(out, mother[2*i])
+		}
+		if keepB[k] {
+			out = append(out, mother[2*i+1])
+		}
+	}
+	return out
+}
+
+// Depuncture expands a punctured stream back to mother-code positions,
+// writing each transmitted bit and marking stolen positions in the returned
+// erasure mask (true = erased / not transmitted). nInfo is the number of
+// information (input) bits the stream encodes.
+func Depuncture(punctured []byte, r CodeRate, nInfo int) (mother []byte, erased []bool, err error) {
+	keepA, keepB := r.puncturePattern()
+	p := len(keepA)
+	mother = make([]byte, 2*nInfo)
+	erased = make([]bool, 2*nInfo)
+	pos := 0
+	for i := 0; i < nInfo; i++ {
+		k := i % p
+		if keepA[k] {
+			if pos >= len(punctured) {
+				return nil, nil, fmt.Errorf("wifi: depuncture: stream too short (%d bits for %d info bits at rate %v)", len(punctured), nInfo, r)
+			}
+			mother[2*i] = punctured[pos] & 1
+			pos++
+		} else {
+			erased[2*i] = true
+		}
+		if keepB[k] {
+			if pos >= len(punctured) {
+				return nil, nil, fmt.Errorf("wifi: depuncture: stream too short (%d bits for %d info bits at rate %v)", len(punctured), nInfo, r)
+			}
+			mother[2*i+1] = punctured[pos] & 1
+			pos++
+		} else {
+			erased[2*i+1] = true
+		}
+	}
+	if pos != len(punctured) {
+		return nil, nil, fmt.Errorf("wifi: depuncture: %d leftover bits (consumed %d of %d)", len(punctured)-pos, pos, len(punctured))
+	}
+	return mother, erased, nil
+}
+
+// EncodeRate runs the mother encoder and punctures to the target rate.
+// The number of input bits must be a multiple of the rate's puncture
+// period for the output to land on a codeword boundary (PPDU assembly
+// guarantees this by construction).
+func EncodeRate(in []byte, r CodeRate) []byte {
+	return Puncture(ConvEncode(in), r)
+}

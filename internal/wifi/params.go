@@ -1,0 +1,105 @@
+package wifi
+
+import "fmt"
+
+// PHY numerology for 20 MHz operation.
+const (
+	// FFTSize is the OFDM transform size.
+	FFTSize = 64
+	// SampleRate is the baseband sampling rate in Hz.
+	SampleRate = 20e6
+	// SubcarrierSpacing in Hz (20 MHz / 64 = 0.3125 MHz).
+	SubcarrierSpacing = SampleRate / FFTSize
+	// LongGI and ShortGI are cyclic prefix lengths in samples (800 ns and
+	// 400 ns). The short guard interval makes one HT symbol 72 samples —
+	// the period all of BlueFi's §2.4 waveform design is built around.
+	LongGI  = 16
+	ShortGI = 8
+	// HTColumns and LegacyColumns are the interleaver column counts.
+	HTColumns     = 13
+	LegacyColumns = 16
+	// ServiceBits precede the PSDU and carry the scrambler-seed
+	// initialization zeros; TailBits flush the convolutional coder.
+	ServiceBits = 16
+	TailBits    = 6
+	// MaxPSDULen is the HT PSDU limit in bytes (65,535 per the standard,
+	// the reason BlueFi can fit multi-slot Bluetooth packets).
+	MaxPSDULen = 65535
+)
+
+// PilotSubcarriers lists the 20 MHz pilot tone positions (I3 in the paper).
+var PilotSubcarriers = []int{-21, -7, 7, 21}
+
+// htPilotPattern is the Ψ pattern for one spatial stream (19.3.11.10).
+var htPilotPattern = []float64{1, 1, 1, -1}
+
+// HTDataSubcarriers lists the 52 HT-20 data subcarrier indices in
+// increasing order (−28…28 excluding DC and pilots).
+var HTDataSubcarriers = buildDataSubcarriers(28)
+
+// LegacyDataSubcarriers lists the 48 clause-17 data subcarriers (−26…26
+// excluding DC and pilots); used by the L-SIG preamble field.
+var LegacyDataSubcarriers = buildDataSubcarriers(26)
+
+func buildDataSubcarriers(edge int) []int {
+	pilot := map[int]bool{}
+	for _, p := range PilotSubcarriers {
+		pilot[p] = true
+	}
+	var out []int
+	for s := -edge; s <= edge; s++ {
+		if s == 0 || pilot[s] {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// MCS describes one HT modulation-and-coding scheme for a single spatial
+// stream at 20 MHz.
+type MCS struct {
+	Index      int
+	Modulation Modulation
+	Rate       CodeRate
+	NCBPS      int // coded bits per OFDM symbol
+	NDBPS      int // data bits per OFDM symbol
+}
+
+// HTMCSTable lists MCS 0–7 (single stream); index 8 holds the synthetic
+// 256-QAM rate-5/6 entry (VHT MCS 9-like) used for the §5.1 study.
+var HTMCSTable = []MCS{
+	{0, BPSK, Rate1_2, 52, 26},
+	{1, QPSK, Rate1_2, 104, 52},
+	{2, QPSK, Rate3_4, 104, 78},
+	{3, QAM16, Rate1_2, 208, 104},
+	{4, QAM16, Rate3_4, 208, 156},
+	{5, QAM64, Rate2_3, 312, 208},
+	{6, QAM64, Rate3_4, 312, 234},
+	{7, QAM64, Rate5_6, 312, 260},
+	{8, QAM256, Rate3_4, 416, 312}, // synthetic 802.11ac-style entry for the §5.1 study
+}
+
+// LookupMCS returns the table entry for an index.
+func LookupMCS(idx int) (MCS, error) {
+	if idx < 0 || idx >= len(HTMCSTable) {
+		return MCS{}, fmt.Errorf("wifi: MCS %d out of range", idx)
+	}
+	return HTMCSTable[idx], nil
+}
+
+// SymbolsForPSDU returns the OFDM symbol count needed for a PSDU of n
+// bytes at the given MCS (SERVICE + data + tail, padded to a symbol).
+func SymbolsForPSDU(n int, m MCS) int {
+	bits := ServiceBits + 8*n + TailBits
+	return (bits + m.NDBPS - 1) / m.NDBPS
+}
+
+// Channel2GHzCenter returns the center frequency in MHz of 2.4 GHz WiFi
+// channel c (1–13): 2407 + 5c.
+func Channel2GHzCenter(c int) (float64, error) {
+	if c < 1 || c > 13 {
+		return 0, fmt.Errorf("wifi: 2.4 GHz channel %d out of range 1–13", c)
+	}
+	return 2407 + 5*float64(c), nil
+}

@@ -1,0 +1,208 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+
+	"bluefi/internal/bits"
+	"bluefi/internal/dsp"
+)
+
+// Mixed-format (HT-MF) preamble generation, IEEE 802.11-2016 §19.3.9:
+// L-STF, L-LTF, L-SIG, HT-SIG, HT-STF, HT-LTF — 36 µs / 720 samples at
+// 20 Msps. BlueFi transmits it because the hardware always does ("+Header"
+// in Fig. 8); to a Bluetooth receiver it is out-of-band-looking lead-in
+// energy before the GFSK payload.
+
+// lstfSequence returns the 64-bin frequency-domain L-STF.
+func lstfSequence() []complex128 {
+	type tone struct {
+		sub  int
+		sign float64
+	}
+	tones := []tone{
+		{-24, 1}, {-20, -1}, {-16, 1}, {-12, -1}, {-8, -1}, {-4, 1},
+		{4, -1}, {8, -1}, {12, 1}, {16, 1}, {20, 1}, {24, 1},
+	}
+	scale := math.Sqrt(13.0 / 6.0)
+	X := make([]complex128, FFTSize)
+	for _, t := range tones {
+		v := complex(t.sign*scale, t.sign*scale)
+		X[dsp.SubcarrierBin(t.sub, FFTSize)] = v
+	}
+	return X
+}
+
+// lltfSequence returns the 64-bin frequency-domain L-LTF.
+func lltfSequence() []complex128 {
+	seq := []float64{
+		1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1,
+		1, -1, 1, 1, 1, 1, 0, 1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1,
+		-1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1,
+	} // subcarriers −26…26
+	X := make([]complex128, FFTSize)
+	for i, v := range seq {
+		X[dsp.SubcarrierBin(i-26, FFTSize)] = complex(v, 0)
+	}
+	return X
+}
+
+// htltfSequence returns the 64-bin frequency-domain HT-LTF for 20 MHz:
+// the L-LTF extended to ±28 with {1,1} on the low edge and {−1,−1} on the
+// high edge (19.3.9.4.6).
+func htltfSequence() []complex128 {
+	X := lltfSequence()
+	X[dsp.SubcarrierBin(-28, FFTSize)] = 1
+	X[dsp.SubcarrierBin(-27, FFTSize)] = 1
+	X[dsp.SubcarrierBin(27, FFTSize)] = -1
+	X[dsp.SubcarrierBin(28, FFTSize)] = -1
+	return X
+}
+
+// legacyBPSKSymbol encodes 24 information bits as one clause-17 BPSK
+// rate-1/2 OFDM symbol (48 coded bits over 48 data subcarriers) and
+// returns its 64-bin frequency-domain representation. qbpsk rotates the
+// constellation onto the imaginary axis (used by HT-SIG). polarity selects
+// the pilot polarity index.
+func legacyBPSKSymbol(infoBits []byte, qbpsk bool, polarityIndex int) ([]complex128, error) {
+	if len(infoBits) != 24 {
+		return nil, fmt.Errorf("wifi: legacy symbol needs 24 bits, got %d", len(infoBits))
+	}
+	coded := EncodeRate(infoBits, Rate1_2)
+	il, err := NewInterleaver(48, 1, LegacyColumns)
+	if err != nil {
+		return nil, err
+	}
+	inter := il.Interleave(coded)
+	X := make([]complex128, FFTSize)
+	for i, sub := range LegacyDataSubcarriers {
+		v := complex(2*float64(inter[i])-1, 0)
+		if qbpsk {
+			v = complex(0, real(v))
+		}
+		X[dsp.SubcarrierBin(sub, FFTSize)] = v
+	}
+	p := float64(PilotPolarity[polarityIndex%127])
+	for i, sub := range PilotSubcarriers {
+		X[dsp.SubcarrierBin(sub, FFTSize)] = complex(p*htPilotPattern[i], 0)
+	}
+	return X, nil
+}
+
+// htsigCRC computes the 8-bit HT-SIG CRC (x⁸+x²+x+1, all-ones init, ones'
+// complement output) over the first 34 HT-SIG bits, returned c7 first.
+func htsigCRC(in []byte) []byte {
+	c := bits.CRC{Width: 8, Poly: 0x07, Init: 0xFF}
+	reg := ^c.Compute(in) & 0xFF
+	out := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		out[i] = byte(reg>>(7-i)) & 1 // c7 transmitted first
+	}
+	return out
+}
+
+// PreambleConfig carries the PPDU parameters signalled in the preamble.
+type PreambleConfig struct {
+	MCS      int
+	Length   int // HT length field (PSDU bytes)
+	ShortGI  bool
+	LSIGRate byte // legacy rate bits; 0x0B (6 Mbps, bits 1101 LSB-first 1011=0x0B) by default
+}
+
+// Preamble synthesizes the full mixed-format preamble waveform (720
+// samples) and returns it along with the number of pilot-polarity indices
+// consumed (the data symbols continue the polarity sequence from there).
+func Preamble(cfg PreambleConfig) ([]complex128, int, error) {
+	plan, err := dsp.NewFFTPlan(FFTSize)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]complex128, 0, 720)
+
+	// L-STF: 10 repetitions of the 16-sample short training symbol.
+	stfBody := plan.Inverse(lstfSequence())
+	for len(out) < 160 {
+		out = append(out, stfBody[:16]...)
+	}
+
+	// L-LTF: 32-sample CP + two 64-sample long training symbols.
+	ltfBody := plan.Inverse(lltfSequence())
+	out = append(out, ltfBody[32:]...)
+	out = append(out, ltfBody...)
+	out = append(out, ltfBody...)
+
+	// L-SIG: RATE(4) R(1) LENGTH(12) PARITY(1) TAIL(6).
+	rate := cfg.LSIGRate
+	if rate == 0 {
+		rate = 0x0B // 6 Mbps
+	}
+	lsigLen := cfg.Length
+	if lsigLen > 4095 {
+		lsigLen = 4095
+	}
+	w := bits.NewWriter()
+	w.Uint(uint64(rate), 4).Uint(0, 1).Uint(uint64(lsigLen), 12)
+	parity := byte(bits.Weight(w.BitSlice()) & 1)
+	w.Uint(uint64(parity), 1).Uint(0, 6)
+	lsig, err := legacyBPSKSymbol(w.BitSlice(), false, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	out = appendLongGISymbol(out, plan, lsig)
+
+	// HT-SIG: two QBPSK symbols carrying 48 bits.
+	hw := bits.NewWriter()
+	hw.Uint(uint64(cfg.MCS), 7) // MCS
+	hw.Uint(0, 1)               // CBW 20 MHz
+	hw.Uint(uint64(cfg.Length), 16)
+	hw.Uint(1, 1) // smoothing
+	hw.Uint(1, 1) // not sounding
+	hw.Uint(1, 1) // reserved
+	hw.Uint(0, 1) // no aggregation
+	hw.Uint(0, 2) // STBC
+	hw.Uint(0, 1) // BCC
+	sgi := uint64(0)
+	if cfg.ShortGI {
+		sgi = 1
+	}
+	hw.Uint(sgi, 1) // short GI
+	hw.Uint(0, 2)   // N_ESS
+	hw.Bits(htsigCRC(hw.BitSlice()))
+	hw.Uint(0, 6) // tail
+	all := hw.BitSlice()
+	if len(all) != 48 {
+		return nil, 0, fmt.Errorf("wifi: HT-SIG assembled %d bits, want 48", len(all))
+	}
+	for i := 0; i < 2; i++ {
+		sym, err := legacyBPSKSymbol(all[i*24:(i+1)*24], true, 1+i)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = appendLongGISymbol(out, plan, sym)
+	}
+
+	// HT-STF: one 4 µs period of the short training waveform.
+	out = append(out, stfBody[:16]...)
+	out = append(out, stfBody[:16]...)
+	out = append(out, stfBody[:16]...)
+	out = append(out, stfBody[:16]...)
+	out = append(out, stfBody[:16]...)
+
+	// HT-LTF: 16-sample CP + 64-sample body.
+	htltf := plan.Inverse(htltfSequence())
+	out = append(out, htltf[FFTSize-LongGI:]...)
+	out = append(out, htltf...)
+
+	// Polarity indices 0,1,2 were used by L-SIG and HT-SIG; HT data
+	// symbols start at z = 3 (19.3.11.10).
+	return out, 3, nil
+}
+
+func appendLongGISymbol(out []complex128, plan *dsp.FFTPlan, X []complex128) []complex128 {
+	body := plan.Inverse(X)
+	out = append(out, body[FFTSize-LongGI:]...)
+	return append(out, body...)
+}
+
+// PreambleLen is the mixed-format preamble duration in samples.
+const PreambleLen = 720

@@ -1,0 +1,110 @@
+package wifi
+
+import (
+	"fmt"
+
+	"bluefi/internal/bits"
+	"bluefi/internal/dsp"
+	"bluefi/internal/viterbi"
+)
+
+// Receiver implements the HT decode chain used in tests and by the
+// chip-model verification path: symbol slicing, FFT, hard demapping,
+// deinterleaving, depuncturing, Viterbi decoding and descrambling. It
+// assumes an ideal channel (the transmitter's own output), which is all
+// BlueFi needs — the point is to confirm that a synthesized PSDU
+// round-trips bit-exactly through a standards-compliant chain.
+type Receiver struct {
+	cfg    TxConfig
+	mcs    MCS
+	il     *Interleaver
+	mapper *Mapper
+	plan   *dsp.FFTPlan
+}
+
+// NewReceiver builds a receive chain matching a transmit configuration.
+func NewReceiver(cfg TxConfig) (*Receiver, error) {
+	mcs, err := LookupMCS(cfg.MCS)
+	if err != nil {
+		return nil, err
+	}
+	il, err := NewInterleaver(mcs.NCBPS, mcs.Modulation.BitsPerSymbol(), HTColumns)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := dsp.NewFFTPlan(FFTSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Receiver{cfg: cfg, mcs: mcs, il: il, mapper: NewMapper(mcs.Modulation), plan: plan}, nil
+}
+
+func (r *Receiver) guard() int {
+	if r.cfg.ShortGI {
+		return ShortGI
+	}
+	return LongGI
+}
+
+// DecodeWaveform recovers the PSDU from a transmit waveform. psduLen is
+// the expected PSDU length in bytes (carried by HT-SIG in a real system).
+// The waveform must start at the preamble if the configuration includes
+// one, otherwise at the first data symbol.
+func (r *Receiver) DecodeWaveform(iq []complex128, psduLen int) ([]byte, error) {
+	start := 0
+	if r.cfg.Preamble {
+		start = PreambleLen
+	}
+	nsym := SymbolsForPSDU(psduLen, r.mcs)
+	T := r.guard() + FFTSize
+	if len(iq) < start+nsym*T {
+		return nil, fmt.Errorf("wifi: waveform of %d samples, need %d", len(iq), start+nsym*T)
+	}
+	coded := make([]byte, 0, nsym*r.mcs.NCBPS)
+	nbpsc := r.mcs.Modulation.BitsPerSymbol()
+	for s := 0; s < nsym; s++ {
+		// The body starts after the CP; windowing only perturbs the first
+		// CP sample of each symbol, so the body is clean.
+		body := iq[start+s*T+r.guard() : start+s*T+r.guard()+FFTSize]
+		X := r.plan.Forward(body)
+		interleaved := make([]byte, 0, r.mcs.NCBPS)
+		for _, sub := range HTDataSubcarriers {
+			p := X[dsp.SubcarrierBin(sub, FFTSize)]
+			b, err := r.mapper.Demap(r.mapper.Quantize(p))
+			if err != nil {
+				return nil, err
+			}
+			interleaved = append(interleaved, b...)
+		}
+		if len(interleaved) != r.mcs.NCBPS {
+			return nil, fmt.Errorf("wifi: symbol %d demapped %d bits, want %d (nbpsc %d)",
+				s, len(interleaved), r.mcs.NCBPS, nbpsc)
+		}
+		coded = append(coded, r.il.Deinterleave(interleaved)...)
+	}
+	return r.DecodeCodedBits(coded, psduLen)
+}
+
+// DecodeCodedBits recovers the PSDU from the concatenated post-
+// deinterleaving coded bits of all data symbols.
+func (r *Receiver) DecodeCodedBits(coded []byte, psduLen int) ([]byte, error) {
+	nsym := SymbolsForPSDU(psduLen, r.mcs)
+	nInfo := nsym * r.mcs.NDBPS
+	mother, erased, err := Depuncture(coded, r.mcs.Rate, nInfo)
+	if err != nil {
+		return nil, err
+	}
+	w := make([]float64, len(mother))
+	for i := range w {
+		if !erased[i] {
+			w[i] = 1
+		}
+	}
+	scrambled, err := viterbi.Decode(viterbi.Input{Bits: mother, Weight: w})
+	if err != nil {
+		return nil, err
+	}
+	descrambled := NewScrambler(r.cfg.ScramblerSeed).Scramble(scrambled)
+	psduBits := descrambled[ServiceBits : ServiceBits+8*psduLen]
+	return bits.PackLSB(psduBits)
+}

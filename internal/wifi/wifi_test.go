@@ -1,0 +1,618 @@
+package wifi
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bluefi/internal/dsp"
+	"bluefi/internal/viterbi"
+)
+
+func randBits(rng *rand.Rand, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(2))
+	}
+	return out
+}
+
+func TestScramblerKnownSequence(t *testing.T) {
+	// With the all-ones seed the 802.11 scrambler emits the well-known
+	// 127-bit sequence beginning 0000 1110 1111 0010 ...
+	s := NewScrambler(0x7F)
+	want := []byte{0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 0, 1, 0}
+	for i, w := range want {
+		if got := s.NextBit(); got != w {
+			t.Fatalf("bit %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestScramblerPeriod127(t *testing.T) {
+	s := NewScrambler(0x55)
+	seq := s.Sequence(127 * 3)
+	for i := 0; i < 127; i++ {
+		if seq[i] != seq[i+127] || seq[i] != seq[i+254] {
+			t.Fatalf("sequence not periodic with 127 at %d", i)
+		}
+	}
+}
+
+func TestScrambleIsInvolution(t *testing.T) {
+	f := func(data []byte, seed uint8) bool {
+		if seed&0x7F == 0 {
+			seed = 1
+		}
+		in := make([]byte, len(data))
+		for i := range data {
+			in[i] = data[i] & 1
+		}
+		once := ScrambleCopy(in, seed)
+		twice := ScrambleCopy(once, seed)
+		for i := range in {
+			if twice[i] != in[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPilotPolarityMatchesStandardPrefix(t *testing.T) {
+	// p₀…p₁₅ from IEEE 802.11-2016 Eq. 17-25.
+	want := []int8{1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1}
+	for i, w := range want {
+		if PilotPolarity[i] != w {
+			t.Fatalf("p[%d] = %d, want %d", i, PilotPolarity[i], w)
+		}
+	}
+}
+
+func TestConvEncodeMatchesViterbiPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := randBits(rng, 300)
+	a := ConvEncode(in)
+	b, _ := viterbi.Encode(in, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("encoders disagree at %d", i)
+		}
+	}
+}
+
+func TestPunctureDepunctureRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, r := range []CodeRate{Rate1_2, Rate2_3, Rate3_4, Rate5_6} {
+		in, out := r.Fraction()
+		nInfo := in * 20
+		info := randBits(rng, nInfo)
+		mother := ConvEncode(info)
+		p := Puncture(mother, r)
+		if len(p) != nInfo*out/in {
+			t.Fatalf("rate %v: punctured %d bits, want %d", r, len(p), nInfo*out/in)
+		}
+		back, erased, err := Depuncture(p, r, nInfo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nErased := 0
+		for i := range back {
+			if erased[i] {
+				nErased++
+				continue
+			}
+			if back[i] != mother[i] {
+				t.Fatalf("rate %v: transmitted bit %d corrupted", r, i)
+			}
+		}
+		if nErased != 2*nInfo-len(p) {
+			t.Fatalf("rate %v: %d erasures, want %d", r, nErased, 2*nInfo-len(p))
+		}
+	}
+}
+
+func TestDepunctureErrors(t *testing.T) {
+	if _, _, err := Depuncture(make([]byte, 5), Rate2_3, 10); err == nil {
+		t.Error("accepted short stream")
+	}
+	if _, _, err := Depuncture(make([]byte, 50), Rate2_3, 10); err == nil {
+		t.Error("accepted long stream")
+	}
+}
+
+func TestRate23PuncturePattern(t *testing.T) {
+	// Transmitted order must be A1 B1 A2 (B2 stolen).
+	info := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	mother := ConvEncode(info)
+	p := Puncture(mother, Rate2_3)
+	want := []byte{mother[0], mother[1], mother[2], mother[4], mother[5], mother[6], mother[8], mother[9], mother[10], mother[12], mother[13], mother[14]}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("bit %d: got %d want %d", i, p[i], want[i])
+		}
+	}
+}
+
+func TestInterleaverRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, m := range HTMCSTable {
+		il, err := NewInterleaver(m.NCBPS, m.Modulation.BitsPerSymbol(), HTColumns)
+		if err != nil {
+			t.Fatalf("MCS %d: %v", m.Index, err)
+		}
+		in := randBits(rng, m.NCBPS)
+		if got := il.Deinterleave(il.Interleave(in)); string(got) != string(in) {
+			t.Fatalf("MCS %d: round trip failed", m.Index)
+		}
+	}
+}
+
+func TestInterleaverIsPermutation(t *testing.T) {
+	il, err := NewInterleaver(312, 6, HTColumns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, 312)
+	for k := 0; k < 312; k++ {
+		j := il.Position(k)
+		if j < 0 || j >= 312 || seen[j] {
+			t.Fatalf("position %d hit twice or out of range", j)
+		}
+		seen[j] = true
+		if il.Source(j) != k {
+			t.Fatalf("Source(Position(%d)) = %d", k, il.Source(j))
+		}
+	}
+}
+
+func TestInterleaverSpreadsAdjacentBits(t *testing.T) {
+	// Adjacent coded bits must land on subcarriers that are far apart —
+	// the property BlueFi's weighting scheme relies on (paper §2.7).
+	il, _ := NewInterleaver(312, 6, HTColumns)
+	for k := 0; k+1 < 312; k++ {
+		s0, _ := il.SubcarrierOfCodedBit(k, 6, HTDataSubcarriers)
+		s1, _ := il.SubcarrierOfCodedBit(k+1, 6, HTDataSubcarriers)
+		d := s1 - s0
+		if d < 0 {
+			d = -d
+		}
+		if d < 3 {
+			t.Fatalf("coded bits %d,%d map to adjacent subcarriers %d,%d", k, k+1, s0, s1)
+		}
+	}
+}
+
+func TestTable1WeightAssignment(t *testing.T) {
+	// Reproduces Table 1 of the paper: the mapped subcarrier of the first
+	// coded bits of an HT 64-QAM symbol. The paper lists (bit, subcarrier):
+	// 0→−28, 1→−24, …, 8→8, 9→12, 10→16, 11→20, 12→25.
+	il, _ := NewInterleaver(312, 6, HTColumns)
+	want := map[int]int{0: -28, 1: -24, 8: 8, 9: 12, 10: 16, 11: 20, 12: 25}
+	for bit, sub := range want {
+		got, _ := il.SubcarrierOfCodedBit(bit, 6, HTDataSubcarriers)
+		if got != sub {
+			t.Errorf("coded bit %d maps to subcarrier %d, want %d", bit, got, sub)
+		}
+	}
+	// And bit 7 → subcarrier 3 per the table.
+	if got, _ := il.SubcarrierOfCodedBit(7, 6, HTDataSubcarriers); got != 3 {
+		t.Errorf("coded bit 7 maps to subcarrier %d, want 3", got)
+	}
+}
+
+func TestMapperRoundTripAllConstellations(t *testing.T) {
+	for _, m := range []Modulation{BPSK, QPSK, QAM16, QAM64, QAM256} {
+		mp := NewMapper(m)
+		nb := m.BitsPerSymbol()
+		for v := 0; v < 1<<nb; v++ {
+			in := make([]byte, nb)
+			for i := range in {
+				in[i] = byte(v>>(nb-1-i)) & 1
+			}
+			p, err := mp.Map(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := mp.Demap(p)
+			if err != nil {
+				t.Fatalf("%v: %v", m, err)
+			}
+			for i := range in {
+				if back[i] != in[i] {
+					t.Fatalf("%v: bits %v -> %v -> %v", m, in, p, back)
+				}
+			}
+		}
+	}
+}
+
+func TestMapperGrayAdjacency(t *testing.T) {
+	// Neighbouring constellation levels differ in exactly one bit.
+	for _, m := range []Modulation{QAM16, QAM64, QAM256} {
+		mp := NewMapper(m)
+		levels := m.AxisLevels()
+		for i := 0; i+1 < len(levels); i++ {
+			b0, _ := mp.Demap(complex(float64(levels[i]), float64(levels[0])))
+			b1, _ := mp.Demap(complex(float64(levels[i+1]), float64(levels[0])))
+			diff := 0
+			for k := range b0 {
+				if b0[k] != b1[k] {
+					diff++
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("%v: levels %d,%d differ in %d bits", m, levels[i], levels[i+1], diff)
+			}
+		}
+	}
+}
+
+func TestMapper64QAMKnownPoints(t *testing.T) {
+	// Spot-check the standard's 64-QAM table: b0b1b2 = 000 → −7,
+	// 011 → −3, 100 → +7.
+	mp := NewMapper(QAM64)
+	cases := []struct {
+		bits []byte
+		i, q float64
+	}{
+		{[]byte{0, 0, 0, 0, 0, 0}, -7, -7},
+		{[]byte{0, 1, 1, 0, 0, 0}, -3, -7},
+		{[]byte{1, 0, 0, 1, 0, 0}, 7, 7},
+		{[]byte{1, 1, 1, 0, 1, 0}, 3, -1},
+	}
+	for _, c := range cases {
+		p, err := mp.Map(c.bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if real(p) != c.i || imag(p) != c.q {
+			t.Errorf("Map(%v) = %v, want (%g,%g)", c.bits, p, c.i, c.q)
+		}
+	}
+}
+
+func TestQuantizeSnapsToGrid(t *testing.T) {
+	mp := NewMapper(QAM64)
+	cases := []struct {
+		in   complex128
+		want complex128
+	}{
+		{complex(0.2, -0.3), complex(1, -1)},
+		{complex(6.4, 9.9), complex(7, 7)},   // clamped
+		{complex(-4.1, 2.0), complex(-5, 1)}, // -4.1 nearer -5; 2.0 ties to 1 or 3
+	}
+	for _, c := range cases[:2] {
+		if got := mp.Quantize(c.in); got != c.want {
+			t.Errorf("Quantize(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	// Quantization must be idempotent and never move a grid point.
+	for _, lv := range QAM64.AxisLevels() {
+		p := complex(float64(lv), float64(-lv))
+		if mp.Quantize(p) != p {
+			t.Errorf("grid point %v moved", p)
+		}
+	}
+}
+
+func TestQuantizeMinimizesDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mp := NewMapper(QAM64)
+	levels := QAM64.AxisLevels()
+	for trial := 0; trial < 500; trial++ {
+		v := complex(rng.Float64()*20-10, rng.Float64()*20-10)
+		q := mp.Quantize(v)
+		best := 1e18
+		for _, li := range levels {
+			for _, lq := range levels {
+				d := cmplx.Abs(v - complex(float64(li), float64(lq)))
+				if d < best {
+					best = d
+				}
+			}
+		}
+		if cmplx.Abs(v-q) > best+1e-9 {
+			t.Fatalf("Quantize(%v)=%v at distance %g, optimal %g", v, q, cmplx.Abs(v-q), best)
+		}
+	}
+}
+
+func TestOFDMSymbolStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mod, err := NewOFDMModulator(ShortGI, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	X := make([]complex128, FFTSize)
+	for _, sub := range HTDataSubcarriers {
+		X[dsp.SubcarrierBin(sub, FFTSize)] = complex(float64(1+2*rng.Intn(4)), float64(1-2*rng.Intn(4)))
+	}
+	out, err := mod.Modulate([][]complex128{X, X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 144 {
+		t.Fatalf("length %d, want 144", len(out))
+	}
+	// CP must equal the tail in both symbols.
+	for s := 0; s < 2; s++ {
+		for i := 0; i < ShortGI; i++ {
+			if cmplx.Abs(out[s*72+i]-out[s*72+64+i]) > 1e-12 {
+				t.Fatalf("symbol %d: CP sample %d differs from tail", s, i)
+			}
+		}
+	}
+}
+
+func TestOFDMWindowingAveragesBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	mkSym := func() []complex128 {
+		X := make([]complex128, FFTSize)
+		for _, sub := range HTDataSubcarriers {
+			X[dsp.SubcarrierBin(sub, FFTSize)] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		return X
+	}
+	s1, s2 := mkSym(), mkSym()
+	plain, _ := NewOFDMModulator(ShortGI, false)
+	win, _ := NewOFDMModulator(ShortGI, true)
+	a, _ := plain.Modulate([][]complex128{s1, s2})
+	b, _ := win.Modulate([][]complex128{s1, s2})
+	if len(b) != len(a)+1 {
+		t.Fatalf("windowed length %d, want %d", len(b), len(a)+1)
+	}
+	// Interior samples unchanged except the boundary sample 72.
+	for i := range a {
+		if i == 72 {
+			continue
+		}
+		if cmplx.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("windowing changed sample %d", i)
+		}
+	}
+	// Boundary: average of symbol 1's cyclic extension (its body[0], which
+	// equals sample 8 of the plain waveform) and symbol 2's first CP
+	// sample (plain sample 72).
+	wantBoundary := 0.5*a[8] + 0.5*a[72]
+	if cmplx.Abs(b[72]-wantBoundary) > 1e-12 {
+		t.Fatalf("boundary sample: got %v want %v", b[72], wantBoundary)
+	}
+	// Trailing extension at half amplitude: symbol 2's body[0] = plain
+	// sample 80.
+	if cmplx.Abs(b[144]-0.5*a[80]) > 1e-12 {
+		t.Fatalf("trailing extension: got %v want %v", b[144], 0.5*a[80])
+	}
+}
+
+func TestBuildSymbolPlacesPilotsAndNulls(t *testing.T) {
+	data := make([]complex128, 52)
+	for i := range data {
+		data[i] = complex(3, -5)
+	}
+	X, err := BuildSymbol(data, 3, PilotAmplitude(QAM64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if X[0] != 0 {
+		t.Error("DC subcarrier not null")
+	}
+	for s := 29; s <= 35; s++ { // guard band (bins 29..35 cover subs 29..-29)
+		if X[s] != 0 && s != 35 {
+			t.Errorf("guard bin %d not null", s)
+		}
+	}
+	p := float64(PilotPolarity[3])
+	for i, sub := range PilotSubcarriers {
+		got := X[dsp.SubcarrierBin(sub, FFTSize)]
+		want := complex(p*htPilotPattern[i]*PilotAmplitude(QAM64), 0)
+		if cmplx.Abs(got-want) > 1e-12 {
+			t.Errorf("pilot %d: got %v want %v", sub, got, want)
+		}
+	}
+}
+
+func TestSymbolsForPSDU(t *testing.T) {
+	m := HTMCSTable[7] // NDBPS 260
+	// 30-byte PSDU: 16+240+6 = 262 bits -> 2 symbols.
+	if got := SymbolsForPSDU(30, m); got != 2 {
+		t.Fatalf("SymbolsForPSDU(30) = %d, want 2", got)
+	}
+	// 29 bytes: 16+232+6 = 254 -> 1 symbol.
+	if got := SymbolsForPSDU(29, m); got != 1 {
+		t.Fatalf("SymbolsForPSDU(29) = %d, want 1", got)
+	}
+}
+
+func TestChannel2GHzCenter(t *testing.T) {
+	got, err := Channel2GHzCenter(3)
+	if err != nil || got != 2422 {
+		t.Fatalf("channel 3 = %g MHz, err %v", got, err)
+	}
+	if _, err := Channel2GHzCenter(0); err == nil {
+		t.Error("accepted channel 0")
+	}
+	if _, err := Channel2GHzCenter(14); err == nil {
+		t.Error("accepted channel 14")
+	}
+}
+
+func TestTransmitReceiveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mcs := range []int{0, 3, 5, 7, 8} {
+		for _, sgi := range []bool{false, true} {
+			cfg := TxConfig{MCS: mcs, ShortGI: sgi, ScramblerSeed: 71, Windowing: true}
+			tx, err := NewTransmitter(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rx, err := NewReceiver(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			psdu := make([]byte, 100)
+			rng.Read(psdu)
+			iq, err := tx.Transmit(psdu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := rx.DecodeWaveform(iq, len(psdu))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(psdu) {
+				t.Fatalf("MCS %d SGI %v: PSDU corrupted in round trip", mcs, sgi)
+			}
+		}
+	}
+}
+
+func TestTransmitWithPreambleRoundTrip(t *testing.T) {
+	cfg := TxConfig{MCS: 7, ShortGI: true, ScramblerSeed: 1, Windowing: true, Preamble: true}
+	tx, err := NewTransmitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewReceiver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psdu := []byte("BlueFi: bluetooth over WiFi, SIGCOMM 2021.")
+	iq, err := tx.Transmit(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iq) < PreambleLen {
+		t.Fatalf("waveform shorter than preamble")
+	}
+	got, err := rx.DecodeWaveform(iq, len(psdu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(psdu) {
+		t.Fatal("PSDU corrupted in round trip with preamble")
+	}
+}
+
+func TestTransmitterRejectsOversizePSDU(t *testing.T) {
+	tx, _ := NewTransmitter(TxConfig{MCS: 7, ShortGI: true})
+	if _, err := tx.Transmit(make([]byte, MaxPSDULen+1)); err == nil {
+		t.Error("accepted PSDU over 65535 bytes")
+	}
+}
+
+func TestTransmitterAcceptsLargeAggregatePSDU(t *testing.T) {
+	// Frame aggregation lets HT PSDUs exceed the 2304-byte MPDU limit —
+	// the property BlueFi needs for 5-slot Bluetooth packets.
+	cfg := TxConfig{MCS: 7, ShortGI: true, ScramblerSeed: 7}
+	tx, err := NewTransmitter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, _ := NewReceiver(cfg)
+	psdu := make([]byte, 8000)
+	rand.New(rand.NewSource(8)).Read(psdu)
+	iq, err := tx.Transmit(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rx.DecodeWaveform(iq, len(psdu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(psdu) {
+		t.Fatal("large PSDU corrupted")
+	}
+}
+
+func TestScrambledDataBitsStructure(t *testing.T) {
+	cfg := TxConfig{MCS: 7, ShortGI: true, ScramblerSeed: 71}
+	tx, _ := NewTransmitter(cfg)
+	psdu := []byte{0xAB, 0xCD}
+	sc, err := tx.ScrambledDataBits(psdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc)%tx.MCS().NDBPS != 0 {
+		t.Fatalf("scrambled length %d not a symbol multiple", len(sc))
+	}
+	// SERVICE bits are zero pre-scrambling, so scrambled SERVICE equals
+	// the scrambler sequence.
+	seq := NewScrambler(71).Sequence(ServiceBits)
+	for i := 0; i < ServiceBits; i++ {
+		if sc[i] != seq[i] {
+			t.Fatalf("service bit %d not pinned to scrambler sequence", i)
+		}
+	}
+	// Tail bits zero after scrambling.
+	tailStart := ServiceBits + 16
+	for i := 0; i < TailBits; i++ {
+		if sc[tailStart+i] != 0 {
+			t.Fatalf("tail bit %d nonzero", i)
+		}
+	}
+}
+
+func TestPreambleStructure(t *testing.T) {
+	pre, z, err := Preamble(PreambleConfig{MCS: 7, Length: 42, ShortGI: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pre) != PreambleLen {
+		t.Fatalf("preamble length %d, want %d", len(pre), PreambleLen)
+	}
+	if z != 3 {
+		t.Fatalf("polarity offset %d, want 3", z)
+	}
+	// L-STF is periodic with 16 samples across its 160-sample span.
+	for i := 0; i+16 < 160; i++ {
+		if cmplx.Abs(pre[i]-pre[i+16]) > 1e-9 {
+			t.Fatalf("L-STF not 16-periodic at %d", i)
+		}
+	}
+	// L-LTF: the two 64-sample long training symbols are identical.
+	for i := 0; i < 64; i++ {
+		if cmplx.Abs(pre[192+i]-pre[256+i]) > 1e-9 {
+			t.Fatalf("L-LTF copies differ at %d", i)
+		}
+	}
+	// The preamble carries energy.
+	if dsp.Energy(pre) == 0 {
+		t.Fatal("empty preamble")
+	}
+}
+
+func TestLookupMCSErrors(t *testing.T) {
+	if _, err := LookupMCS(-1); err == nil {
+		t.Error("accepted MCS -1")
+	}
+	if _, err := LookupMCS(99); err == nil {
+		t.Error("accepted MCS 99")
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	tx, _ := NewTransmitter(TxConfig{MCS: 7, ShortGI: true, Preamble: true})
+	at := tx.AirtimeSeconds(1000)
+	// 1000 bytes at MCS7: (16+8000+6)/260 = 31 symbols × 72 samples
+	// + 720 preamble = 2952 samples = 147.6 µs.
+	want := 2952.0 / 20e6
+	if diff := at - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("airtime %g, want %g", at, want)
+	}
+}
+
+func BenchmarkTransmit1000B(b *testing.B) {
+	tx, _ := NewTransmitter(TxConfig{MCS: 7, ShortGI: true, ScramblerSeed: 71, Windowing: true, Preamble: true})
+	psdu := make([]byte, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.Transmit(psdu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
