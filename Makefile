@@ -1,0 +1,38 @@
+# Tier-1 gate: what every change must keep green.
+.PHONY: verify
+verify: vet build test
+
+.PHONY: vet
+vet:
+	go vet ./...
+
+.PHONY: build
+build:
+	go build ./...
+
+.PHONY: test
+test:
+	go test -count=1 ./...
+
+# Race tier: the concurrency layer (Pool, parallel rehearsal search,
+# pool-backed audio streams) under the race detector. Short mode skips
+# the long experiment suites but keeps every concurrency and golden test.
+.PHONY: race
+race: vet
+	go test -race -short -count=1 ./...
+
+# Regenerate the committed determinism vectors after an intentional
+# pipeline change; review the diff like any other code.
+.PHONY: golden
+golden:
+	go test . -run TestGoldenPSDUs -update-golden -count=1
+
+# Benchmark regression snapshot: BENCH_*.json with ns/op and allocs/op
+# for the §4.8 latency budget and the Fig. 9/10 harnesses.
+.PHONY: bench-json
+bench-json:
+	go run ./cmd/bluefi-eval -bench-json
+
+.PHONY: bench
+bench:
+	go test -bench . -benchmem ./...

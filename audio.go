@@ -2,8 +2,8 @@ package bluefi
 
 import (
 	"fmt"
-
 	"sort"
+	"sync"
 
 	"bluefi/internal/a2dp"
 	"bluefi/internal/bt"
@@ -66,9 +66,13 @@ func (c SBCConfig) inner() (sbc.Config, error) {
 	return out, out.Validate()
 }
 
-// AudioStream is a live A2DP session over BlueFi.
+// AudioStream is a live A2DP session over BlueFi. Streams opened from a
+// Pool synthesize the segments of each Send concurrently across the
+// pool's workers; the rehearsal-gated re-slotting stays correct because
+// the scheduler hands out slots atomically.
 type AudioStream struct {
 	syn    *Synthesizer
+	pool   *Pool // nil for single-synthesizer streams
 	sched  *a2dp.Scheduler
 	enc    *sbc.Encoder
 	sbcCfg sbc.Config
@@ -168,33 +172,76 @@ func (a *AudioStream) Send(pcm [][]float64) ([]*AudioTransmission, error) {
 	if err != nil {
 		return nil, err
 	}
+	if a.pool != nil {
+		// Segments are independent synthesis jobs; fan them out across
+		// the pool's workers. Results keep segment order.
+		out := make([]*AudioTransmission, len(scheduled))
+		errs := make([]error, len(scheduled))
+		var wg sync.WaitGroup
+		for i, sp := range scheduled {
+			i, sp := i, sp
+			wg.Add(1)
+			a.pool.jobs <- func(s *Synthesizer) {
+				defer wg.Done()
+				out[i], errs[i] = a.synthesizeScheduled(s, sp)
+			}
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
 	out := make([]*AudioTransmission, 0, len(scheduled))
 	for _, sp := range scheduled {
-		// Rehearsal-gated transmission: when synthesis predicts more bit
-		// errors than the packet's FEC can absorb, move to the next slot
-		// — its clock re-whitens the payload into a fresh waveform.
-		var res *core.Result
-		for attempt := 0; ; attempt++ {
-			air, err := sp.Packet.AirBits(bt.Device(a.dev))
-			if err != nil {
-				return nil, err
-			}
-			res, err = a.syn.br.Synthesize(air, sp.ChannelMHz)
-			if err != nil {
-				return nil, err
-			}
-			if res.RehearsalMismatches <= 4 || attempt >= 3 {
-				break
-			}
-			sp = a.sched.Reslot(sp)
-		}
-		pkt, err := a.syn.wrap(res, -1)
+		tx, err := a.synthesizeScheduled(a.syn, sp)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, &AudioTransmission{Packet: pkt, Clock: uint32(sp.Clock), BTChannel: sp.Channel})
+		out = append(out, tx)
 	}
 	return out, nil
+}
+
+// synthesizeScheduled synthesizes one scheduled segment on the given
+// synthesizer with rehearsal-gated transmission: when synthesis predicts
+// more bit errors than the packet's FEC can absorb, move to the next slot
+// — its clock re-whitens the payload into a fresh waveform.
+func (a *AudioStream) synthesizeScheduled(syn *Synthesizer, sp *a2dp.ScheduledPacket) (*AudioTransmission, error) {
+	var res *core.Result
+	for attempt := 0; ; attempt++ {
+		air, err := sp.Packet.AirBits(bt.Device(a.dev))
+		if err != nil {
+			return nil, err
+		}
+		res, err = syn.br.Synthesize(air, sp.ChannelMHz)
+		if err != nil {
+			return nil, err
+		}
+		if res.RehearsalMismatches <= 4 || attempt >= 3 {
+			break
+		}
+		sp = a.sched.Reslot(sp)
+	}
+	pkt, err := syn.wrap(res, -1)
+	if err != nil {
+		return nil, err
+	}
+	return &AudioTransmission{Packet: pkt, Clock: uint32(sp.Clock), BTChannel: sp.Channel}, nil
+}
+
+// NewAudioStream opens an audio stream whose per-Send segment synthesis
+// fans out across the pool's workers — the concurrent variant of
+// Synthesizer.NewAudioStream for real-time A2DP workloads.
+func (p *Pool) NewAudioStream(cfg AudioConfig) (*AudioStream, error) {
+	a, err := p.syns[0].NewAudioStream(cfg)
+	if err != nil {
+		return nil, err
+	}
+	a.pool = p
+	return a, nil
 }
 
 // bestChannels scores the Bluetooth channels inside the WiFi channel by

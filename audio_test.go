@@ -19,6 +19,9 @@ func testTone(stream *bluefi.AudioStream, phase int) [][]float64 {
 }
 
 func TestAudioStreamDefaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
 	syn, err := bluefi.New(bluefi.Options{Mode: bluefi.RealTime})
 	if err != nil {
 		t.Fatal(err)

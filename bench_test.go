@@ -120,10 +120,6 @@ func benchSec48(b *testing.B, mode core.Mode, payloadLen int, pt bt.PacketType) 
 	opts.GFSK = gfsk.BRConfig()
 	opts.PSDUOnly = true      // the paper's pipeline emits only the PSDU
 	opts.DynamicScale = false // and uses the fixed §2.5 scale factor
-	s, err := core.New(opts)
-	if err != nil {
-		b.Fatal(err)
-	}
 	pkt := &bt.Packet{Type: pt, LTAddr: 1, Payload: make([]byte, payloadLen)}
 	air, err := pkt.AirBits(bt.Device{LAP: 0x123456, UAP: 0x9A})
 	if err != nil {
@@ -131,11 +127,22 @@ func benchSec48(b *testing.B, mode core.Mode, payloadLen int, pt bt.PacketType) 
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := s.Synthesize(air, 2426); err != nil {
-			b.Fatal(err)
+	// Throughput parallelism: each goroutine owns an independent
+	// synthesizer, the way Pool shards multi-packet workloads. -cpu 1,4
+	// shows the scaling; ns/op at -cpu 1 is the §4.8 latency figure.
+	b.RunParallel(func(pb *testing.PB) {
+		s, err := core.New(opts)
+		if err != nil {
+			b.Error(err)
+			return
 		}
-	}
+		for pb.Next() {
+			if _, err := s.Synthesize(air, 2426); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
 }
 
 // The paper's §4.8 comparison: the Viterbi path versus the real-time
@@ -170,6 +177,56 @@ func BenchmarkSynthesizeBeacon(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPoolBeaconBatch measures the Pool path end to end: a batch of
+// distinct beacons fanned over GOMAXPROCS workers; ns/op is per beacon.
+func BenchmarkPoolBeaconBatch(b *testing.B) {
+	pool, err := bluefi.NewPool(bluefi.Options{Chip: bluefi.RTL8811AU, Mode: bluefi.RealTime}, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	const batch = 8
+	jobs := make([]bluefi.BeaconJob, batch)
+	for i := range jobs {
+		ib := bluefi.IBeacon{Major: uint16(i + 1)}
+		jobs[i] = bluefi.BeaconJob{ADStructures: ib.ADStructures(), Addr: [6]byte{1, 2, 3, 4, 5, byte(i)}, BLEChannel: 38}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for _, res := range pool.BeaconBatch(jobs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}
+
+// The rehearsal-search benches isolate the tentpole: the full
+// PhaseSearch (synth + rehearsal demod per candidate) serial versus
+// fanned over the in-synthesizer worker pool.
+func benchPhaseSearch(b *testing.B, parallelism int) {
+	opts := core.DefaultOptions()
+	opts.GFSK = gfsk.BLEConfig()
+	opts.SearchParallelism = parallelism
+	s, err := core.New(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ib := bluefi.IBeacon{Major: 3}
+	air := beaconAir(b, ib.ADStructures())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Synthesize(air, 2426); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhaseSearchSerial(b *testing.B)   { benchPhaseSearch(b, 1) }
+func BenchmarkPhaseSearchParallel(b *testing.B) { benchPhaseSearch(b, 4) }
 
 // --- ablation benches for DESIGN.md's design choices -----------------------
 

@@ -84,7 +84,12 @@ type Options struct {
 }
 
 // Synthesizer converts Bluetooth packets to WiFi PSDUs for one chip and
-// channel. Not safe for concurrent use; create one per goroutine.
+// channel. A Synthesizer's methods must not be called concurrently — but
+// concurrency is available one level up: Pool owns a fleet of independent
+// Synthesizers behind a work queue (SynthesizeBatch / BeaconBatch), and
+// inside each Synthesizer the rehearsal-scored phase search fans out over
+// a bounded worker pool with deterministic, order-independent candidate
+// selection, so parallel synthesis stays bit-identical to serial.
 type Synthesizer struct {
 	opts    Options
 	chip    *chip.Chip
@@ -138,6 +143,11 @@ type Packet struct {
 	// against the ideal Bluetooth waveform, in radians (lower is better;
 	// ≲0.3 decodes reliably on strong links).
 	Fidelity float64
+	// RehearsalMismatches counts bit decisions the synthesis-time
+	// reception rehearsal got wrong for the chosen candidate (−1 when no
+	// rehearsal ran). Nonzero predicts failure on a clean link; callers
+	// with scheduling freedom (the audio path) re-slot such packets.
+	RehearsalMismatches int
 	// BLEChannel is set for advertising packets (37–39), −1 otherwise.
 	BLEChannel int
 
@@ -150,14 +160,15 @@ func (s *Synthesizer) wrap(res *core.Result, bleChannel int) (*Packet, error) {
 		return nil, err
 	}
 	return &Packet{
-		PSDU:           res.PSDU,
-		MCS:            s.mcs(),
-		WiFiChannel:    res.Plan.WiFiChannel,
-		FrequencyMHz:   res.Plan.WiFiCenterMHz + res.Plan.OffsetHz/1e6,
-		AirtimeSeconds: at,
-		Fidelity:       res.PhaseRMSE,
-		BLEChannel:     bleChannel,
-		res:            res,
+		PSDU:                res.PSDU,
+		MCS:                 s.mcs(),
+		WiFiChannel:         res.Plan.WiFiChannel,
+		FrequencyMHz:        res.Plan.WiFiCenterMHz + res.Plan.OffsetHz/1e6,
+		AirtimeSeconds:      at,
+		Fidelity:            res.PhaseRMSE,
+		RehearsalMismatches: res.RehearsalMismatches,
+		BLEChannel:          bleChannel,
+		res:                 res,
 	}, nil
 }
 

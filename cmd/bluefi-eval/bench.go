@@ -1,0 +1,215 @@
+package main
+
+// Benchmark regression harness (-bench-json): runs the §4.8
+// packet-generation benches and the Fig 9/10 harnesses under
+// testing.Benchmark and writes BENCH_*.json with ns/op and allocs/op —
+// a committed-format snapshot that successive changes diff against.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"bluefi"
+	"bluefi/internal/bt"
+	"bluefi/internal/core"
+	"bluefi/internal/eval"
+	"bluefi/internal/gfsk"
+)
+
+// benchResult is one row of the JSON snapshot.
+type benchResult struct {
+	Name        string  `json:"name"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+type benchSnapshot struct {
+	Generated string        `json:"generated"`
+	GoVersion string        `json:"goVersion"`
+	NumCPU    int           `json:"numCPU"`
+	Results   []benchResult `json:"results"`
+}
+
+func record(out *benchSnapshot, name string, fn func(b *testing.B)) {
+	r := testing.Benchmark(fn)
+	out.Results = append(out.Results, benchResult{
+		Name:        name,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	})
+	fmt.Printf("  %-44s %12.0f ns/op %10d allocs/op (n=%d, P=%d)\n",
+		name, out.Results[len(out.Results)-1].NsPerOp, r.AllocsPerOp(), r.N, runtime.GOMAXPROCS(0))
+}
+
+// sec48Bench mirrors bench_test.go's §4.8 scenario: PSDU-only synthesis
+// of a DM packet, one synthesizer per goroutine.
+func sec48Bench(mode core.Mode, payloadLen int, pt bt.PacketType, parallel bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.Mode = mode
+		opts.GFSK = gfsk.BRConfig()
+		opts.PSDUOnly = true
+		opts.DynamicScale = false
+		pkt := &bt.Packet{Type: pt, LTAddr: 1, Payload: make([]byte, payloadLen)}
+		air, err := pkt.AirBits(bt.Device{LAP: 0x123456, UAP: 0x9A})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		if parallel {
+			b.RunParallel(func(pb *testing.PB) {
+				s, err := core.New(opts)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for pb.Next() {
+					if _, err := s.Synthesize(air, 2426); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			return
+		}
+		s, err := core.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Synthesize(air, 2426); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// phaseSearchBench isolates the rehearsal-scored search: full synthesis
+// of a beacon with the candidate search serial or fanned over workers.
+func phaseSearchBench(parallelism int) func(b *testing.B) {
+	return func(b *testing.B) {
+		opts := core.DefaultOptions()
+		opts.GFSK = gfsk.BLEConfig()
+		opts.SearchParallelism = parallelism
+		s, err := core.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ib := bluefi.IBeacon{Major: 3}
+		adv := &bt.Advertisement{PDUType: bt.AdvNonconnInd, AdvA: [6]byte{1, 2, 3, 4, 5, 6}, Data: ib.ADStructures()}
+		air, err := adv.AirBits(38)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Synthesize(air, 2426); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func fig9Bench(parallelism int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := eval.DefaultFig9()
+			cfg.PacketsPerChannel = 2
+			cfg.Parallelism = parallelism
+			if _, err := eval.Fig9SingleSlotPER(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func fig10Bench() func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cfg := eval.DefaultFig10()
+			cfg.Packets = 4
+			if _, err := eval.Fig10AudioPER(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func poolBeaconBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		pool, err := bluefi.NewPool(bluefi.Options{Chip: bluefi.RTL8811AU, Mode: bluefi.RealTime}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer pool.Close()
+		const batch = 8
+		jobs := make([]bluefi.BeaconJob, batch)
+		for i := range jobs {
+			ib := bluefi.IBeacon{Major: uint16(i + 1)}
+			jobs[i] = bluefi.BeaconJob{ADStructures: ib.ADStructures(), Addr: [6]byte{1, 2, 3, 4, 5, byte(i)}, BLEChannel: 38}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			for _, res := range pool.BeaconBatch(jobs) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	}
+}
+
+// runBenchJSON executes the suite at GOMAXPROCS 1 and 4 (the -cpu 1,4
+// comparison: serial baseline versus the concurrency layer) and writes
+// the snapshot.
+func runBenchJSON(path string) error {
+	snap := &benchSnapshot{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, procs := range []int{1, 4} {
+		runtime.GOMAXPROCS(procs)
+		tag := fmt.Sprintf("-cpu%d", procs)
+		fmt.Printf("bench-json at GOMAXPROCS=%d:\n", procs)
+		record(snap, "sec48/quality-1slot"+tag, sec48Bench(core.Quality, 17, bt.DM1, false))
+		record(snap, "sec48/quality-5slot"+tag, sec48Bench(core.Quality, 224, bt.DM5, false))
+		record(snap, "sec48/realtime-1slot"+tag, sec48Bench(core.RealTime, 17, bt.DM1, false))
+		record(snap, "sec48/realtime-5slot"+tag, sec48Bench(core.RealTime, 224, bt.DM5, false))
+		record(snap, "sec48/realtime-1slot-throughput"+tag, sec48Bench(core.RealTime, 17, bt.DM1, true))
+		record(snap, "phase-search/serial"+tag, phaseSearchBench(1))
+		record(snap, "phase-search/parallel"+tag, phaseSearchBench(4))
+		record(snap, "fig9/serial"+tag, fig9Bench(1))
+		record(snap, "fig9/parallel"+tag, fig9Bench(4))
+		record(snap, "fig10/audio"+tag, fig10Bench())
+		record(snap, "pool/beacon-batch"+tag, poolBeaconBench())
+	}
+
+	data, err := json.MarshalIndent(snap, "", "\t")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results)\n", path, len(snap.Results))
+	return nil
+}

@@ -5,6 +5,7 @@
 //
 //	bluefi-eval -fig all
 //	bluefi-eval -fig 9 -n 40
+//	bluefi-eval -bench-json            # BENCH_eval.json regression snapshot
 package main
 
 import (
@@ -20,7 +21,17 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 5b, 5c, 6, 7a, 7b, 7c, 8, 9, 10, timing, all")
 	n := flag.Int("n", 0, "override per-point sample count (0 = default)")
+	benchJSON := flag.Bool("bench-json", false, "run the benchmark suite and write a BENCH_*.json snapshot instead of figures")
+	benchOut := flag.String("bench-out", "BENCH_eval.json", "output path for -bench-json")
 	flag.Parse()
+
+	if *benchJSON {
+		if err := runBenchJSON(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: bench-json: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	want := map[string]bool{}
 	for _, f := range strings.Split(*fig, ",") {

@@ -1,0 +1,76 @@
+package bluefi_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"bluefi"
+)
+
+// fuzzSyn is shared across fuzz iterations — building a Synthesizer is
+// the expensive part — and mutex-guarded because a Synthesizer's methods
+// must not be called concurrently.
+var (
+	fuzzOnce sync.Once
+	fuzzMu   sync.Mutex
+	fuzzSyn  *bluefi.Synthesizer
+)
+
+func fuzzSynthesizer(t interface{ Fatal(...any) }) *bluefi.Synthesizer {
+	fuzzOnce.Do(func() {
+		s, err := bluefi.New(bluefi.Options{Mode: bluefi.RealTime})
+		if err == nil {
+			fuzzSyn = s
+		}
+	})
+	if fuzzSyn == nil {
+		t.Fatal("building fuzz synthesizer failed")
+	}
+	return fuzzSyn
+}
+
+// FuzzSynthesizeBeacon throws arbitrary AD structures, addresses and
+// channel numbers at the full synthesis pipeline. The contract under
+// fuzz: never panic, return a typed error for invalid input, and for
+// valid input produce a non-empty PSDU deterministically (the same call
+// twice yields the same bytes — the rehearsal search must stay
+// reproducible whatever state earlier inputs left behind).
+func FuzzSynthesizeBeacon(f *testing.F) {
+	ib := bluefi.IBeacon{Major: 1, Minor: 2}
+	f.Add(ib.ADStructures(), byte(1), 38)
+	f.Add([]byte{}, byte(0), 38)
+	f.Add([]byte{0x02, 0x01, 0x06}, byte(7), 37)
+	f.Add(bytes.Repeat([]byte{0xFF}, 32), byte(9), 38)
+	f.Add([]byte{0x1E}, byte(3), 99)
+	f.Fuzz(func(t *testing.T, ad []byte, addrSeed byte, bleChannel int) {
+		if len(ad) > 64 {
+			ad = ad[:64] // anything past the 31-byte limit rejects the same way
+		}
+		syn := fuzzSynthesizer(t)
+		addr := [6]byte{addrSeed, addrSeed ^ 0x55, 0xBF, 1, 2, addrSeed >> 1}
+
+		fuzzMu.Lock()
+		defer fuzzMu.Unlock()
+		pkt, err := syn.Beacon(ad, addr, bleChannel)
+		if err != nil {
+			if pkt != nil {
+				t.Fatal("non-nil packet alongside an error")
+			}
+			return // invalid input rejected cleanly
+		}
+		if len(pkt.PSDU) == 0 {
+			t.Fatal("valid beacon produced an empty PSDU")
+		}
+		again, err := syn.Beacon(ad, addr, bleChannel)
+		if err != nil {
+			t.Fatalf("second synthesis of an accepted input failed: %v", err)
+		}
+		if !bytes.Equal(pkt.PSDU, again.PSDU) {
+			t.Fatal("same beacon synthesized twice produced different PSDUs")
+		}
+		if pkt.RehearsalMismatches != again.RehearsalMismatches {
+			t.Fatal("rehearsal verdict drifted between identical syntheses")
+		}
+	})
+}

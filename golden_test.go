@@ -1,0 +1,156 @@
+package bluefi_test
+
+import (
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bluefi"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_psdus.json from the current synthesis output")
+
+// goldenVector pins one synthesized PSDU: chip model × mode × BLE/WiFi
+// channel pair, for a fixed beacon. The committed vectors make synthesis
+// determinism externally visible — any change to the pipeline that moves
+// a single bit fails this test, and the parallel rehearsal search must
+// reproduce them no matter how many workers it fans over (run with
+// -cpu 1,4,8: GOMAXPROCS sizes the default search parallelism).
+type goldenVector struct {
+	Chip        string `json:"chip"`
+	Mode        string `json:"mode"`
+	BLEChannel  int    `json:"bleChannel"`
+	WiFiChannel int    `json:"wifiChannel"`
+	MCS         int    `json:"mcs"`
+	Mismatches  int    `json:"rehearsalMismatches"`
+	PSDU        string `json:"psduHex"`
+}
+
+var goldenChips = map[string]bluefi.ChipModel{
+	"AR9331":    bluefi.AR9331,
+	"RTL8811AU": bluefi.RTL8811AU,
+}
+
+var goldenModes = map[string]bluefi.Mode{
+	"Quality":  bluefi.Quality,
+	"RealTime": bluefi.RealTime,
+}
+
+// Advertising channels and WiFi channels that cover them. Channel 37
+// (2402 MHz) sits outside every usable WiFi channel plan, so the matrix
+// covers 38 (2426 MHz) from two different WiFi channels — different
+// subcarrier alignments — and 39 (2480 MHz) in channel 13.
+var goldenChannels = []struct{ ble, wifi int }{
+	{38, 3},
+	{38, 4},
+	{39, 13},
+}
+
+func goldenBeacon(t *testing.T, chipName, modeName string, bleCh, wifiCh int) *bluefi.Packet {
+	t.Helper()
+	syn, err := bluefi.New(bluefi.Options{
+		Chip:        goldenChips[chipName],
+		Mode:        goldenModes[modeName],
+		WiFiChannel: wifiCh,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib := bluefi.IBeacon{Major: 0xB1, Minor: 0xF1}
+	pkt, err := syn.Beacon(ib.ADStructures(), [6]byte{0xBF, 0x01, 0x02, 0x03, 0x04, 0x05}, bleCh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkt
+}
+
+func goldenPath() string { return filepath.Join("testdata", "golden_psdus.json") }
+
+func goldenCases(short bool) []goldenVector {
+	var out []goldenVector
+	for _, chipName := range []string{"AR9331", "RTL8811AU"} {
+		for _, modeName := range []string{"Quality", "RealTime"} {
+			for _, ch := range goldenChannels {
+				if short && ch.wifi != 3 {
+					continue // short mode: the 38/3 pair per chip × mode
+				}
+				out = append(out, goldenVector{Chip: chipName, Mode: modeName, BLEChannel: ch.ble, WiFiChannel: ch.wifi})
+			}
+		}
+	}
+	return out
+}
+
+// TestGoldenPSDUs synthesizes every vector and compares byte-for-byte
+// against the committed goldens. Run with -update-golden after an
+// intentional pipeline change; review the diff like any other code.
+func TestGoldenPSDUs(t *testing.T) {
+	if *updateGolden {
+		var vectors []goldenVector
+		for _, c := range goldenCases(false) {
+			pkt := goldenBeacon(t, c.Chip, c.Mode, c.BLEChannel, c.WiFiChannel)
+			c.MCS = pkt.MCS
+			c.Mismatches = pkt.RehearsalMismatches
+			c.PSDU = hex.EncodeToString(pkt.PSDU)
+			vectors = append(vectors, c)
+		}
+		data, err := json.MarshalIndent(vectors, "", "\t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath(), append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden vectors to %s", len(vectors), goldenPath())
+		return
+	}
+
+	data, err := os.ReadFile(goldenPath())
+	if err != nil {
+		t.Fatalf("missing goldens (regenerate with -update-golden): %v", err)
+	}
+	var vectors []goldenVector
+	if err := json.Unmarshal(data, &vectors); err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string]goldenVector{}
+	for _, v := range vectors {
+		byKey[fmt.Sprintf("%s/%s/ble%d-wifi%d", v.Chip, v.Mode, v.BLEChannel, v.WiFiChannel)] = v
+	}
+	for _, c := range goldenCases(testing.Short()) {
+		c := c
+		name := fmt.Sprintf("%s/%s/ble%d-wifi%d", c.Chip, c.Mode, c.BLEChannel, c.WiFiChannel)
+		t.Run(name, func(t *testing.T) {
+			want, ok := byKey[name]
+			if !ok {
+				t.Fatalf("no golden vector for %s (regenerate with -update-golden)", name)
+			}
+			wantPSDU, err := hex.DecodeString(want.PSDU)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkt := goldenBeacon(t, c.Chip, c.Mode, c.BLEChannel, c.WiFiChannel)
+			if pkt.MCS != want.MCS {
+				t.Errorf("MCS %d, golden %d", pkt.MCS, want.MCS)
+			}
+			if pkt.RehearsalMismatches != want.Mismatches {
+				t.Errorf("RehearsalMismatches %d, golden %d", pkt.RehearsalMismatches, want.Mismatches)
+			}
+			if !bytes.Equal(pkt.PSDU, wantPSDU) {
+				i := 0
+				for i < len(pkt.PSDU) && i < len(wantPSDU) && pkt.PSDU[i] == wantPSDU[i] {
+					i++
+				}
+				t.Errorf("PSDU differs from golden at byte %d (%d vs %d bytes total)", i, len(pkt.PSDU), len(wantPSDU))
+			}
+		})
+	}
+}

@@ -9,6 +9,7 @@ package a2dp
 
 import (
 	"fmt"
+	"sync"
 
 	"bluefi/internal/bt"
 	"bluefi/internal/l2cap"
@@ -96,8 +97,11 @@ type StreamConfig struct {
 }
 
 // Scheduler allocates time slots for audio packets along the AFH-mapped
-// hop sequence.
+// hop sequence. It is safe for concurrent use: when packet synthesis fans
+// out over a worker pool, rehearsal-gated Reslot calls race from several
+// goroutines, and each must atomically claim the next usable slot.
 type Scheduler struct {
+	mu      sync.Mutex
 	cfg     StreamConfig
 	hop     *bt.HopSelector
 	afh     *bt.AFHMap
@@ -156,12 +160,22 @@ func NewScheduler(cfg StreamConfig) (*Scheduler, error) {
 func (s *Scheduler) AFHSize() int { return s.afh.Size() }
 
 // Clock returns the scheduler's current Bluetooth clock.
-func (s *Scheduler) Clock() bt.Clock { return s.clk }
+func (s *Scheduler) Clock() bt.Clock {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clk
+}
 
 // NextSlot advances to the next master-TX slot whose AFH-mapped hop lands
 // on an acceptable channel and returns the slot's clock and channel.
 // When BestChannels is empty every allowed channel qualifies.
 func (s *Scheduler) NextSlot() (bt.Clock, int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSlotLocked()
+}
+
+func (s *Scheduler) nextSlotLocked() (bt.Clock, int, int) {
 	skipped := 0
 	for {
 		if !s.clk.IsMasterTxSlot() {
@@ -184,6 +198,8 @@ func (s *Scheduler) NextSlot() (bt.Clock, int, int) {
 // slot for each segment. A multi-slot packet keeps the frequency of its
 // first slot (§4.7) and the master resumes on the next even slot.
 func (s *Scheduler) ScheduleMedia(frames [][]byte, timestampTicks uint32) ([]*ScheduledPacket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	media := &MediaPacket{SequenceNumber: s.seq, Timestamp: s.tsTicks, SSRC: s.ssrc, Frames: frames}
 	s.tsTicks += timestampTicks
 	payload, err := media.Marshal()
@@ -202,7 +218,7 @@ func (s *Scheduler) ScheduleMedia(frames [][]byte, timestampTicks uint32) ([]*Sc
 	s.seq++
 	out := make([]*ScheduledPacket, 0, len(segments))
 	for i, seg := range segments {
-		clk, ch, skipped := s.NextSlot()
+		clk, ch, skipped := s.nextSlotLocked()
 		llid := byte(0b10)
 		if i > 0 {
 			llid = 0b01
@@ -237,7 +253,9 @@ func (s *Scheduler) ScheduleMedia(frames [][]byte, timestampTicks uint32) ([]*Sc
 // the next slot, whose different clock re-whitens the payload into a
 // different waveform.
 func (s *Scheduler) Reslot(sp *ScheduledPacket) *ScheduledPacket {
-	clk, ch, skipped := s.NextSlot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clk, ch, skipped := s.nextSlotLocked()
 	pkt := *sp.Packet
 	pkt.Clock = uint32(clk)
 	adv := s.cfg.PacketType.Slots()

@@ -1,0 +1,113 @@
+package bits
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBitsRoundTrip drives the pack/unpack pairs and the bit cursors with
+// arbitrary bytes and checks the invariants the synthesis pipeline leans
+// on: unpack∘pack is the identity, both bit orders agree on length, and
+// cursor reads reproduce writer output positionally.
+func FuzzBitsRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0x00, 0xA5})
+	f.Add([]byte("bluefi"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<12 {
+			data = data[:1<<12]
+		}
+
+		// LSB-first round trip.
+		lsb := UnpackLSB(data)
+		if len(lsb) != 8*len(data) {
+			t.Fatalf("UnpackLSB: %d bits from %d bytes", len(lsb), len(data))
+		}
+		back, err := PackLSB(lsb)
+		if err != nil {
+			t.Fatalf("PackLSB: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("PackLSB(UnpackLSB(x)) != x")
+		}
+
+		// MSB-first round trip.
+		msb := UnpackMSB(data)
+		if len(msb) != len(lsb) {
+			t.Fatalf("bit orders disagree on length: %d vs %d", len(msb), len(lsb))
+		}
+		back, err = PackMSB(msb)
+		if err != nil {
+			t.Fatalf("PackMSB: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatal("PackMSB(UnpackMSB(x)) != x")
+		}
+
+		// Per-byte the two orders are reversals of each other.
+		for i := 0; i < len(data); i++ {
+			if !Equal(Reverse(lsb[8*i:8*i+8]), msb[8*i:8*i+8]) {
+				t.Fatalf("byte %d: MSB bits are not the reversed LSB bits", i)
+			}
+		}
+
+		// Writer → Reader round trip with mixed-width fields. Field widths
+		// are derived from the data so the fuzzer explores the space.
+		w := NewWriter()
+		type field struct {
+			v uint64
+			n int
+		}
+		var fields []field
+		for i, b := range data {
+			n := int(b%24) + 1 // 1..24 bits
+			v := uint64(b) ^ uint64(i)<<3
+			v &= 1<<n - 1
+			fields = append(fields, field{v, n})
+			w.Uint(v, n)
+		}
+		w.Bits(lsb)
+		r := NewReader(w.BitSlice())
+		for i, fl := range fields {
+			if got := r.Uint(fl.n); got != fl.v {
+				t.Fatalf("field %d: read %#x, wrote %#x (%d bits)", i, got, fl.v, fl.n)
+			}
+		}
+		if tail := r.Bits(len(lsb)); !Equal(tail, lsb) {
+			t.Fatal("trailing Bits() do not round-trip")
+		}
+		if r.Err() != nil {
+			t.Fatalf("reader error after exact-length reads: %v", r.Err())
+		}
+		if r.Remaining() != 0 {
+			t.Fatalf("%d bits left after reading everything", r.Remaining())
+		}
+		r.Uint(1)
+		if r.Err() == nil {
+			t.Fatal("reading past the end did not set Err")
+		}
+
+		// MSB cursor round trip over byte-aligned content.
+		mw := NewMSBWriter()
+		for _, b := range data {
+			mw.Uint(uint64(b), 8)
+		}
+		packed, err := mw.Bytes()
+		if err != nil {
+			t.Fatalf("MSBWriter.Bytes: %v", err)
+		}
+		if !bytes.Equal(packed, data) {
+			t.Fatal("MSB writer did not reproduce its input bytes")
+		}
+		mr := NewMSBReader(data)
+		for i, b := range data {
+			if got := mr.Uint(8); got != uint64(b) {
+				t.Fatalf("MSB byte %d: read %#x, want %#x", i, got, b)
+			}
+		}
+		if mr.Err() != nil || mr.Remaining() != 0 {
+			t.Fatalf("MSB reader state after full read: err=%v remaining=%d", mr.Err(), mr.Remaining())
+		}
+	})
+}

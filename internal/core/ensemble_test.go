@@ -13,6 +13,9 @@ import (
 // TestEnsemblePER estimates packet error rate over many distinct payloads
 // — the quantity Fig. 9 actually measures.
 func TestEnsemblePER(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
 	opts := DefaultOptions()
 	opts.GFSK = gfsk.BLEConfig()
 	s, _ := New(opts)

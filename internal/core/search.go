@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Parallel rehearsal search. Each PhaseSearch candidate — a (rotation,
+// extra-lead) pair — is an independent synth+demod pass, so the search
+// fans out over a bounded pool of worker synthesizers. Determinism is the
+// contract: candidates are evaluated concurrently but SELECTED strictly in
+// candidate order, replaying the serial loop's update and early-exit rules
+// over the completed group, so the parallel search returns a bit-identical
+// PSDU (and identical RehearsalMismatches) to the serial one.
+
+// The candidate grid of the rehearsal search: four phase quadrants per
+// extra-lead group, further groups only when the previous ones still
+// rehearse dirty (see SynthesizePhase).
+var (
+	searchRotations = []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}
+	searchLeads     = []int{0, 1, 2}
+)
+
+// searchCleanMargin is the decision-margin threshold above which a
+// zero-mismatch candidate ends the search immediately.
+const searchCleanMargin = 0.2
+
+// searchParallelism resolves Options.SearchParallelism: 0 sizes the pool
+// to GOMAXPROCS, and anything larger than the rotation-group width is
+// clamped — a group completes before the next is considered, so extra
+// workers would idle.
+func (s *Synthesizer) searchParallelism() int {
+	p := s.opts.SearchParallelism
+	if p == 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > len(searchRotations) {
+		p = len(searchRotations)
+	}
+	return p
+}
+
+// ensureWorkers builds the worker clones on first use. Each worker is a
+// full Synthesizer with the same options (forced serial so workers never
+// recurse into their own pools): every piece of mutable scratch — FFT
+// buffers, FIR state, pilot cache, rehearsal receiver — is private to one
+// worker, so candidates share no buffers. The FFT twiddle tables are
+// process-shared read-only state (dsp.PlanFor).
+func (s *Synthesizer) ensureWorkers(n int) error {
+	if len(s.workers) >= n {
+		return nil
+	}
+	opts := s.opts
+	opts.SearchParallelism = 1
+	for len(s.workers) < n {
+		w, err := New(opts)
+		if err != nil {
+			return err
+		}
+		s.workers = append(s.workers, w)
+	}
+	s.workerCh = make(chan *Synthesizer, len(s.workers))
+	for _, w := range s.workers {
+		s.workerCh <- w
+	}
+	return nil
+}
+
+// searchCandidate is one evaluated (rotation, extra-lead) candidate.
+type searchCandidate struct {
+	res    *Result
+	mis    int
+	margin float64
+	err    error
+}
+
+// searchParallel runs the rehearsal-scored candidate search with a worker
+// pool, one extra-lead group at a time. Within a group all rotations run
+// concurrently; the group is then scanned in candidate order with exactly
+// the serial loop's selection rules (including the early exits), so the
+// chosen candidate — and therefore the PSDU — matches the serial search
+// bit for bit. The only divergence is wasted work: the serial loop stops
+// mid-group at a comfortably-clean candidate, the parallel one finishes
+// evaluating the group it already started.
+func (s *Synthesizer) searchParallel(basebandPhase []float64, btMHz float64) (*Result, error) {
+	if err := s.ensureWorkers(s.searchParallelism()); err != nil {
+		return nil, err
+	}
+	var best *Result
+	bestMis, bestMargin := int(^uint(0)>>1), math.Inf(-1)
+	for _, extraLead := range searchLeads {
+		group := make([]searchCandidate, len(searchRotations))
+		var wg sync.WaitGroup
+		for i, rot := range searchRotations {
+			wg.Add(1)
+			go func(i int, rot float64) {
+				defer wg.Done()
+				w := <-s.workerCh
+				defer func() { s.workerCh <- w }()
+				res, err := w.synthesizeShifted(basebandPhase, btMHz, rot, extraLead)
+				if err != nil {
+					group[i].err = err
+					return
+				}
+				mis, margin := w.rehearse(res, len(basebandPhase))
+				res.RehearsalMismatches = mis
+				group[i] = searchCandidate{res: res, mis: mis, margin: margin}
+			}(i, rot)
+		}
+		wg.Wait()
+		for _, c := range group {
+			if c.err != nil {
+				return nil, c.err
+			}
+			if best == nil || c.mis < bestMis || (c.mis == bestMis && c.margin > bestMargin) {
+				best, bestMis, bestMargin = c.res, c.mis, c.margin
+			}
+			if c.mis == 0 && c.margin > searchCleanMargin {
+				return best, nil // comfortably clean
+			}
+		}
+		if bestMis == 0 {
+			break
+		}
+	}
+	return best, nil
+}

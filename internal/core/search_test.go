@@ -1,0 +1,115 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"bluefi/internal/bt"
+	"bluefi/internal/gfsk"
+)
+
+// The parallel rehearsal search must be bit-identical to the serial one:
+// same PSDU, same rehearsal verdict, same plan. Candidates are evaluated
+// concurrently but selected in candidate order, so nothing about worker
+// scheduling may leak into the result.
+func TestParallelSearchMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name string
+		mode Mode
+		ble  bool
+		bt   *bt.Packet
+		mhz  float64
+	}{
+		{"quality-dm1", Quality, false, &bt.Packet{Type: bt.DM1, LTAddr: 1, Payload: []byte("par-search-01")}, 2426},
+		{"realtime-dm1", RealTime, false, &bt.Packet{Type: bt.DM1, LTAddr: 1, SEQN: 1, Payload: []byte("par-search-02")}, 2426},
+		{"realtime-dh1-ch20", RealTime, false, &bt.Packet{Type: bt.DH1, LTAddr: 2, Payload: []byte("par-search-03"), Clock: 4}, 2424},
+		{"quality-dm1-ch24", Quality, false, &bt.Packet{Type: bt.DM1, LTAddr: 3, Payload: []byte("par-search-04"), Clock: 8}, 2428},
+	}
+	if testing.Short() {
+		cases = cases[:2]
+	}
+	dev := bt.Device{LAP: 0x123456, UAP: 0x9A}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			air, err := tc.bt.AirBits(dev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mk := func(par int) *Result {
+				opts := DefaultOptions()
+				opts.Mode = tc.mode
+				opts.GFSK = gfsk.BRConfig()
+				opts.SearchParallelism = par
+				s, err := New(opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Synthesize(air, tc.mhz)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			serial := mk(1)
+			parallel := mk(4)
+			if !bytes.Equal(serial.PSDU, parallel.PSDU) {
+				t.Errorf("parallel search PSDU differs from serial (%d vs %d bytes)", len(parallel.PSDU), len(serial.PSDU))
+			}
+			if serial.RehearsalMismatches != parallel.RehearsalMismatches {
+				t.Errorf("RehearsalMismatches: serial %d, parallel %d", serial.RehearsalMismatches, parallel.RehearsalMismatches)
+			}
+			if serial.Symbols != parallel.Symbols {
+				t.Errorf("Symbols: serial %d, parallel %d", serial.Symbols, parallel.Symbols)
+			}
+			if serial.Plan != parallel.Plan {
+				t.Errorf("Plan: serial %+v, parallel %+v", serial.Plan, parallel.Plan)
+			}
+			if serial.PhaseRMSE != parallel.PhaseRMSE {
+				t.Errorf("PhaseRMSE: serial %g, parallel %g", serial.PhaseRMSE, parallel.PhaseRMSE)
+			}
+		})
+	}
+}
+
+// A synthesizer keeps its parallel search across packets: worker clones
+// and their caches must not leak state from one packet into the next.
+// Synthesizing the same packet twice (around a different packet) must
+// reproduce the first result exactly.
+func TestParallelSearchStatelessAcrossPackets(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Mode = RealTime
+	opts.GFSK = gfsk.BRConfig()
+	opts.SearchParallelism = 4
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := bt.Device{LAP: 0x123456, UAP: 0x9A}
+	pktA := &bt.Packet{Type: bt.DM1, LTAddr: 1, Payload: []byte("stateless-a")}
+	pktB := &bt.Packet{Type: bt.DM1, LTAddr: 1, SEQN: 1, Payload: []byte("stateless-b")}
+	airA, err := pktA.AirBits(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	airB, err := pktB.AirBits(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Synthesize(airA, 2426)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Synthesize(airB, 2426); err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Synthesize(airA, 2426)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.PSDU, again.PSDU) {
+		t.Error("same packet synthesized twice produced different PSDUs")
+	}
+	if first.RehearsalMismatches != again.RehearsalMismatches {
+		t.Errorf("RehearsalMismatches drifted: %d then %d", first.RehearsalMismatches, again.RehearsalMismatches)
+	}
+}

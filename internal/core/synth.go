@@ -113,6 +113,14 @@ type Options struct {
 	// it cancels cleanly. Enabled by DefaultOptions; an extension beyond
 	// the paper, ablated in the benches.
 	PilotPrecompensation bool
+	// SearchParallelism bounds the worker count of the PhaseSearch
+	// candidate evaluation. 0 sizes the pool to min(GOMAXPROCS, 4) (four
+	// rotations per search group); 1 forces the serial search; larger
+	// values are capped at the group width. Parallel and serial searches
+	// are guaranteed to select the same candidate — ties break by
+	// candidate order, not completion order — so the synthesized PSDU is
+	// bit-identical either way.
+	SearchParallelism int
 	// PSDUOnly skips predicted-waveform generation: Result.Waveform is
 	// nil and PhaseRMSE is zero. The paper's pipeline emits only the
 	// PSDU; this option makes the §4.8 timing comparison apples-to-apples
@@ -199,6 +207,12 @@ type Result struct {
 }
 
 // Synthesizer converts Bluetooth air bits into WiFi PSDUs.
+//
+// A Synthesizer is not safe for concurrent use. The PhaseSearch candidate
+// evaluation parallelizes internally (see Options.SearchParallelism) over
+// private worker clones, so callers still treat the whole object as
+// single-threaded; for concurrent multi-packet workloads, use one
+// Synthesizer per goroutine (the root package's Pool does exactly that).
 type Synthesizer struct {
 	opts         Options
 	mcs          wifi.MCS
@@ -206,11 +220,22 @@ type Synthesizer struct {
 	mapper       *wifi.Mapper
 	plan         *dsp.FFTPlan
 	tx           *wifi.Transmitter
+	mod          *wifi.OFDMModulator
 	predistFIR   *dsp.FIR
 	lastOffsetHz float64
 	extraPhase   float64
 	extraLead    int
 	rehearseRx   *btrx.Receiver
+
+	// fitSymbols scratch: the time/frequency buffers and the two
+	// interleaved-bit candidate buffers of the per-symbol scale search.
+	fitBody, fitX []complex128
+	fitInter      [2][]byte
+
+	// workers are the PhaseSearch clones, parked in workerCh between
+	// groups. Built lazily on the first parallel search.
+	workers  []*Synthesizer
+	workerCh chan *Synthesizer
 
 	// pilotIBCache memoizes the in-band pilot waveform per (nsym,
 	// offset): it is data-independent, so audio streams reuse it.
@@ -249,6 +274,9 @@ func New(opts Options) (*Synthesizer, error) {
 	if opts.GFSK.SampleRate != wifi.SampleRate {
 		return nil, fmt.Errorf("core: GFSK sample rate %g must match WiFi's %g", opts.GFSK.SampleRate, wifi.SampleRate)
 	}
+	if opts.SearchParallelism < 0 {
+		return nil, fmt.Errorf("core: search parallelism %d is negative", opts.SearchParallelism)
+	}
 	mcs, err := wifi.LookupMCS(opts.Mode.MCS())
 	if err != nil {
 		return nil, err
@@ -257,7 +285,7 @@ func New(opts Options) (*Synthesizer, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := dsp.NewFFTPlan(wifi.FFTSize)
+	plan, err := dsp.PlanFor(wifi.FFTSize)
 	if err != nil {
 		return nil, err
 	}
@@ -271,7 +299,16 @@ func New(opts Options) (*Synthesizer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Synthesizer{opts: opts, mcs: mcs, il: il, mapper: wifi.NewMapper(mcs.Modulation), plan: plan, tx: tx}, nil
+	mod, err := wifi.NewOFDMModulator(wifi.ShortGI, opts.Windowing)
+	if err != nil {
+		return nil, err
+	}
+	s := &Synthesizer{opts: opts, mcs: mcs, il: il, mapper: wifi.NewMapper(mcs.Modulation), plan: plan, tx: tx, mod: mod}
+	s.fitBody = make([]complex128, wifi.FFTSize)
+	s.fitX = make([]complex128, wifi.FFTSize)
+	s.fitInter[0] = make([]byte, 0, mcs.NCBPS)
+	s.fitInter[1] = make([]byte, 0, mcs.NCBPS)
+	return s, nil
 }
 
 // Options returns the synthesizer's (defaulted) configuration.
@@ -334,8 +371,7 @@ func (s *Synthesizer) layoutPhase(pkt []float64, offsetHz float64) (theta []floa
 func (s *Synthesizer) fitSymbols(thetaHat []float64, nsym int, offsetHz float64) (coded []byte, err error) {
 	nbpsc := s.mcs.Modulation.BitsPerSymbol()
 	coded = make([]byte, 0, nsym*s.mcs.NCBPS)
-	body := make([]complex128, wifi.FFTSize)
-	X := make([]complex128, wifi.FFTSize)
+	body, X := s.fitBody, s.fitX
 	scales := []float64{s.opts.ScaleFactor}
 	if s.opts.DynamicScale {
 		scales = []float64{0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65}
@@ -349,17 +385,21 @@ func (s *Synthesizer) fitSymbols(thetaHat []float64, nsym int, offsetHz float64)
 			starve[i] = w < WeightAdjacent
 		}
 	}
+	// Two candidate buffers serve the whole scale search: `cur` collects
+	// the candidate being built; on improvement it becomes `bestInter` and
+	// the other buffer takes over — no per-scale allocation.
+	curIdx := 0
 	for k := 0; k < nsym; k++ {
 		base := k*symbolLen + wifi.ShortGI
 		bestResidue := math.Inf(1)
 		var bestInter []byte
 		for _, A := range scales {
 			for n := 0; n < wifi.FFTSize; n++ {
-				t := thetaHat[base+n]
-				body[n] = complex(A*math.Cos(t), A*math.Sin(t))
+				sin, cos := math.Sincos(thetaHat[base+n])
+				body[n] = complex(A*cos, A*sin)
 			}
 			s.plan.ForwardInto(X, body)
-			inter := make([]byte, 0, s.mcs.NCBPS)
+			inter := s.fitInter[curIdx][:0]
 			residue := 0.0
 			for i, sub := range wifi.HTDataSubcarriers {
 				v := X[dsp.SubcarrierBin(sub, wifi.FFTSize)] / GridScale
@@ -382,9 +422,11 @@ func (s *Synthesizer) fitSymbols(thetaHat []float64, nsym int, offsetHz float64)
 				}
 				inter = append(inter, b...)
 			}
+			s.fitInter[curIdx] = inter[:0]
 			if residue /= A * A; residue < bestResidue {
 				bestResidue = residue
 				bestInter = inter
+				curIdx ^= 1 // keep the winner; build the next try elsewhere
 			}
 		}
 		if len(bestInter) != s.mcs.NCBPS {
@@ -491,11 +533,7 @@ func (s *Synthesizer) synthOnce(target []float64, nsym int, offsetHz float64) (*
 		if err != nil {
 			return nil, err
 		}
-		mod, err := wifi.NewOFDMModulator(wifi.ShortGI, s.opts.Windowing)
-		if err != nil {
-			return nil, err
-		}
-		p.dataWave, err = mod.Modulate(p.symbols)
+		p.dataWave, err = s.mod.Modulate(p.symbols)
 		if err != nil {
 			return nil, err
 		}
@@ -589,11 +627,7 @@ func (s *Synthesizer) precompensatePilots(theta, working []float64, nsym int, of
 		}
 		symbols[k] = sym
 	}
-	mod, err := wifi.NewOFDMModulator(wifi.ShortGI, s.opts.Windowing)
-	if err != nil {
-		return nil, err
-	}
-	pWave, err := mod.Modulate(symbols)
+	pWave, err := s.mod.Modulate(symbols)
 	if err != nil {
 		return nil, err
 	}
@@ -704,12 +738,22 @@ func (s *Synthesizer) precompensateCP(theta, working []float64, offsetHz float64
 // difference between the CP-designed and ideal waveforms through the
 // nominal channel filter.
 func (s *Synthesizer) precompensateCPExact(theta, working, thetaHat []float64, offsetHz float64) ([]float64, error) {
-	a := dsp.PhaseToIQ(theta, 1)
-	b := dsp.PhaseToIQ(thetaHat, 1)
+	a := dsp.GetComplex(len(theta))
+	b := dsp.GetComplex(len(thetaHat))
+	aIB := dsp.GetComplex(len(theta))
+	bIB := dsp.GetComplex(len(thetaHat))
+	defer func() {
+		dsp.PutComplex(a)
+		dsp.PutComplex(b)
+		dsp.PutComplex(aIB)
+		dsp.PutComplex(bIB)
+	}()
+	dsp.PhaseToIQInto(a, theta, 1)
+	dsp.PhaseToIQInto(b, thetaHat, 1)
 	dsp.Mix(a, -offsetHz, wifi.SampleRate, 0)
 	dsp.Mix(b, -offsetHz, wifi.SampleRate, 0)
-	aIB := s.predistFIR.Apply(a)
-	bIB := s.predistFIR.Apply(b)
+	s.predistFIR.ApplyInto(aIB, a)
+	s.predistFIR.ApplyInto(bIB, b)
 	out := make([]float64, len(theta))
 	const beta = 0.6
 	const clip = 0.2
@@ -772,10 +816,13 @@ func (s *Synthesizer) SynthesizePhase(basebandPhase []float64, btMHz float64) (*
 	// align with the OFDM symbol corruption pattern (the alignment cycles
 	// every lcm(20, 72) samples). Extra leads are only tried when the
 	// plain rotations still rehearse dirty.
+	if s.searchParallelism() > 1 {
+		return s.searchParallel(basebandPhase, btMHz)
+	}
 	var best *Result
 	bestMis, bestMargin := int(^uint(0)>>1), math.Inf(-1)
-	for _, extraLead := range []int{0, 1, 2} {
-		for _, rot := range []float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2} {
+	for _, extraLead := range searchLeads {
+		for _, rot := range searchRotations {
 			res, err := s.synthesizeShifted(basebandPhase, btMHz, rot, extraLead)
 			if err != nil {
 				return nil, err
@@ -785,7 +832,7 @@ func (s *Synthesizer) SynthesizePhase(basebandPhase []float64, btMHz float64) (*
 			if best == nil || mis < bestMis || (mis == bestMis && margin > bestMargin) {
 				best, bestMis, bestMargin = res, mis, margin
 			}
-			if mis == 0 && margin > 0.2 {
+			if mis == 0 && margin > searchCleanMargin {
 				return best, nil // comfortably clean
 			}
 		}
@@ -817,7 +864,9 @@ func (s *Synthesizer) rehearse(res *Result, pktLen int) (mismatches int, minMarg
 		s.rehearseRx = rcv
 	}
 	s.rehearseRx.ChannelOffsetHz = s.lastOffsetHz
-	ideal := dsp.PhaseToIQ(res.targetPhase[res.GFSKStart:res.GFSKStart+pktLen], 1)
+	ideal := dsp.GetComplex(pktLen)
+	defer dsp.PutComplex(ideal)
+	dsp.PhaseToIQInto(ideal, res.targetPhase[res.GFSKStart:res.GFSKStart+pktLen], 1)
 	phase := start % 20
 	predBits, predAcc := s.rehearseRx.DemodAtPhase(res.Waveform[start-phase:start+pktLen], phase)
 	idealBits, idealAcc := s.rehearseRx.DemodAtPhase(ideal, 0)
@@ -979,13 +1028,23 @@ func (s *Synthesizer) inbandPhaseRMSE(ideal, predicted []complex128, offsetHz fl
 		}
 		s.predistFIR = fir
 	}
-	a := make([]complex128, len(ideal))
+	a := dsp.GetComplex(len(ideal))
+	b := dsp.GetComplex(len(predicted))
+	aIB := dsp.GetComplex(len(ideal))
+	bIB := dsp.GetComplex(len(predicted))
+	defer func() {
+		dsp.PutComplex(a)
+		dsp.PutComplex(b)
+		dsp.PutComplex(aIB)
+		dsp.PutComplex(bIB)
+	}()
 	copy(a, ideal)
-	b := make([]complex128, len(predicted))
 	copy(b, predicted)
 	dsp.Mix(a, -offsetHz, wifi.SampleRate, 0)
 	dsp.Mix(b, -offsetHz, wifi.SampleRate, 0)
-	return dsp.PhaseRMSE(s.predistFIR.Apply(a), s.predistFIR.Apply(b))
+	s.predistFIR.ApplyInto(aIB, a)
+	s.predistFIR.ApplyInto(bIB, b)
+	return dsp.PhaseRMSE(aIB, bIB)
 }
 
 func sign(x float64) float64 {

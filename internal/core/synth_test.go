@@ -258,6 +258,9 @@ func TestEndToEndBLEBeaconThroughBlueFi(t *testing.T) {
 	// channel, and our simulated discriminator receiver is a few dB less
 	// capable than commercial chips), so the assertion is over an
 	// ensemble of advertisements.
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
 	opts := DefaultOptions()
 	opts.GFSK = gfsk.BLEConfig()
 	s, err := New(opts)

@@ -53,15 +53,24 @@ func (f *FIR) GroupDelay() int { return (len(f.Taps) - 1) / 2 }
 // sample n (the GroupDelay leading samples of raw convolution output are
 // dropped, and the tail is zero-padded).
 func (f *FIR) Apply(x []complex128) []complex128 {
-	if len(f.Taps) == 0 {
-		out := make([]complex128, len(x))
-		copy(out, x)
-		return out
-	}
 	out := make([]complex128, len(x))
+	f.ApplyInto(out, x)
+	return out
+}
+
+// ApplyInto is Apply writing into a caller-provided buffer of the same
+// length as x (which must not alias x) — the allocation-free variant for
+// hot paths that reuse pooled buffers.
+func (f *FIR) ApplyInto(out, x []complex128) {
+	if len(out) != len(x) {
+		panic("dsp: ApplyInto length mismatch")
+	}
+	if len(f.Taps) == 0 {
+		copy(out, x)
+		return
+	}
 	d := f.GroupDelay()
 	for n := range out {
-		// out[n] = Σ_k taps[k]·x[n+d-k]
 		var acc complex128
 		for k, t := range f.Taps {
 			idx := n + d - k
@@ -72,7 +81,6 @@ func (f *FIR) Apply(x []complex128) []complex128 {
 		}
 		out[n] = acc
 	}
-	return out
 }
 
 // GaussianPulse returns a unit-area Gaussian pulse for GFSK shaping with

@@ -54,6 +54,19 @@ func PhaseToIQ(theta []float64, amp float64) []complex128 {
 	return out
 }
 
+// PhaseToIQInto writes amp·e^{jθ[n]} into dst, which must have the same
+// length as theta — the allocation-free variant for hot paths that reuse
+// pooled buffers.
+func PhaseToIQInto(dst []complex128, theta []float64, amp float64) {
+	if len(dst) != len(theta) {
+		panic("dsp: PhaseToIQInto length mismatch")
+	}
+	for i, t := range theta {
+		s, c := math.Sincos(t)
+		dst[i] = complex(amp*c, amp*s)
+	}
+}
+
 // IntegrateFrequency converts an instantaneous-frequency signal (radians
 // per sample) into an accumulated phase signal starting at phase0. The
 // returned phase uses the convention θ[n] = phase0 + Σ_{k≤n} ω[k], i.e. the

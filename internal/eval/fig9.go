@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"sync"
 
 	"bluefi/internal/bt"
 	"bluefi/internal/btrx"
@@ -44,6 +45,11 @@ type Fig9Config struct {
 	PacketsPerChannel int
 	Channels          []int // Bluetooth channel indices; nil picks 10 inside WiFi ch 3
 	Seed              int64
+	// Parallelism fans the independent per-channel sweeps over this many
+	// workers, each owning its own synthesizer and receiver (0 or 1 =
+	// serial). Every per-packet result is a pure function of its channel,
+	// index and seed, so the parallel sweep is identical to a serial run.
+	Parallelism int
 }
 
 // DefaultFig9 mirrors the paper's ten channels.
@@ -72,64 +78,97 @@ func Fig9SingleSlotPER(cfg Fig9Config) ([]ChannelPER, error) {
 	opts := core.DefaultOptions()
 	opts.Mode = core.RealTime
 	opts.GFSK = gfsk.BRConfig()
-	s, err := core.New(opts)
-	if err != nil {
-		return nil, err
+
+	workers := cfg.Parallelism
+	if workers < 1 {
+		workers = 1
 	}
-	var out []ChannelPER
-	for ci, btCh := range chans {
-		freq := bt.ChannelMHz(btCh)
-		plan, err := core.PlanForChannel(freq, opts.WiFiChannel)
+	if workers > len(chans) {
+		workers = len(chans)
+	}
+	out := make([]ChannelPER, len(chans))
+	errs := make([]error, len(chans))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := core.New(opts)
+			for ci := range next {
+				if err != nil {
+					errs[ci] = err
+					continue
+				}
+				out[ci], errs[ci] = fig9Channel(cfg, s, ci, chans[ci])
+			}
+		}()
+	}
+	for ci := range chans {
+		next <- ci
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		res := ChannelPER{BTChannel: btCh, FrequencyMHz: freq, PilotDistMHz: plan.PilotDistanceMHz, ClearanceMHz: plan.Score}
-		rcv, err := btrx.NewReceiver(btrx.Sniffer, plan.OffsetHz, evalDevice)
-		if err != nil {
-			return nil, err
-		}
-		for k := 0; k < cfg.PacketsPerChannel; k++ {
-			clk := uint32(4 * (ci*cfg.PacketsPerChannel + k))
-			pkt := &bt.Packet{
-				Type:    bt.DM1, // single-slot with the 2/3-rate FEC, as audio links use
-				LTAddr:  1,
-				SEQN:    byte(k & 1),
-				Payload: []byte(fmt.Sprintf("per-%02d-%03d", btCh, k)),
-				Clock:   clk,
-			}
-			air, err := pkt.AirBits(evalDevice)
-			if err != nil {
-				return nil, err
-			}
-			synth, err := s.Synthesize(air, freq)
-			if err != nil {
-				return nil, err
-			}
-			ch := channel.Default(18, 1.5)
-			ch.Seed = cfg.Seed + int64(ci*1000+k)
-			rx, err := ch.Apply(synth.Waveform)
-			if err != nil {
-				return nil, err
-			}
-			rep, err := rcv.ReceiveBR(rx, clk)
-			if err != nil {
-				return nil, err
-			}
-			res.Sent++
-			switch {
-			case !rep.Detected:
-				res.Lost++
-			case rep.Result.OK:
-				res.NoError++
-			case rep.Result.HeaderError:
-				res.HeaderError++
-			default:
-				res.CRCError++
-			}
-		}
-		out = append(out, res)
 	}
 	return out, nil
+}
+
+// fig9Channel sweeps one Bluetooth channel on the given synthesizer.
+func fig9Channel(cfg Fig9Config, s *core.Synthesizer, ci, btCh int) (ChannelPER, error) {
+	freq := bt.ChannelMHz(btCh)
+	plan, err := core.PlanForChannel(freq, s.Options().WiFiChannel)
+	if err != nil {
+		return ChannelPER{}, err
+	}
+	res := ChannelPER{BTChannel: btCh, FrequencyMHz: freq, PilotDistMHz: plan.PilotDistanceMHz, ClearanceMHz: plan.Score}
+	rcv, err := btrx.NewReceiver(btrx.Sniffer, plan.OffsetHz, evalDevice)
+	if err != nil {
+		return ChannelPER{}, err
+	}
+	for k := 0; k < cfg.PacketsPerChannel; k++ {
+		clk := uint32(4 * (ci*cfg.PacketsPerChannel + k))
+		pkt := &bt.Packet{
+			Type:    bt.DM1, // single-slot with the 2/3-rate FEC, as audio links use
+			LTAddr:  1,
+			SEQN:    byte(k & 1),
+			Payload: []byte(fmt.Sprintf("per-%02d-%03d", btCh, k)),
+			Clock:   clk,
+		}
+		air, err := pkt.AirBits(evalDevice)
+		if err != nil {
+			return ChannelPER{}, err
+		}
+		synth, err := s.Synthesize(air, freq)
+		if err != nil {
+			return ChannelPER{}, err
+		}
+		ch := channel.Default(18, 1.5)
+		ch.Seed = cfg.Seed + int64(ci*1000+k)
+		rx, err := ch.Apply(synth.Waveform)
+		if err != nil {
+			return ChannelPER{}, err
+		}
+		rep, err := rcv.ReceiveBR(rx, clk)
+		if err != nil {
+			return ChannelPER{}, err
+		}
+		res.Sent++
+		switch {
+		case !rep.Detected:
+			res.Lost++
+		case rep.Result.OK:
+			res.NoError++
+		case rep.Result.HeaderError:
+			res.HeaderError++
+		default:
+			res.CRCError++
+		}
+	}
+	return res, nil
 }
 
 // FormatChannelPER renders Fig. 9/10 bars.

@@ -1,0 +1,27 @@
+package eval
+
+import "testing"
+
+// The parallel Fig. 9 sweep must reproduce the serial sweep exactly:
+// every per-packet outcome is a pure function of (channel, index, seed).
+func TestFig9ParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultFig9()
+	cfg.PacketsPerChannel = 2
+	serial, err := Fig9SingleSlotPER(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	parallel, err := Fig9SingleSlotPER(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial) != len(parallel) {
+		t.Fatalf("%d channels serial, %d parallel", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("channel %d: serial %+v, parallel %+v", serial[i].BTChannel, serial[i], parallel[i])
+		}
+	}
+}

@@ -23,7 +23,7 @@ func NewOFDMModulator(guard int, windowing bool) (*OFDMModulator, error) {
 	if guard != ShortGI && guard != LongGI {
 		return nil, fmt.Errorf("wifi: guard interval %d samples, want %d or %d", guard, ShortGI, LongGI)
 	}
-	plan, err := dsp.NewFFTPlan(FFTSize)
+	plan, err := dsp.PlanFor(FFTSize)
 	if err != nil {
 		return nil, err
 	}

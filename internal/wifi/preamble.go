@@ -113,7 +113,7 @@ type PreambleConfig struct {
 // samples) and returns it along with the number of pilot-polarity indices
 // consumed (the data symbols continue the polarity sequence from there).
 func Preamble(cfg PreambleConfig) ([]complex128, int, error) {
-	plan, err := dsp.NewFFTPlan(FFTSize)
+	plan, err := dsp.PlanFor(FFTSize)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -32,7 +32,7 @@ func NewReceiver(cfg TxConfig) (*Receiver, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := dsp.NewFFTPlan(FFTSize)
+	plan, err := dsp.PlanFor(FFTSize)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,163 @@
+package bluefi
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is a fleet of Synthesizers behind a work queue — the concurrent
+// entry point for multi-packet workloads: beacon fleets, PER sweeps, and
+// A2DP streams. Each worker goroutine owns one Synthesizer, so jobs never
+// share synthesis state; results land at the index of the job that
+// produced them, never reordered by completion.
+//
+// All Pool methods are safe for concurrent use. Synthesis is
+// deterministic per job: a job's PSDU does not depend on which worker ran
+// it or on what else is in flight (every worker targets the same chip
+// seed policy, and the parallel rehearsal search inside each Synthesizer
+// is order-independent by construction).
+type Pool struct {
+	syns []*Synthesizer
+	jobs chan func(*Synthesizer)
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool builds a pool of n independent Synthesizers with the same
+// options; n ≤ 0 sizes it to GOMAXPROCS.
+func NewPool(opts Options, n int) (*Pool, error) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{jobs: make(chan func(*Synthesizer))}
+	for i := 0; i < n; i++ {
+		s, err := New(opts)
+		if err != nil {
+			close(p.jobs)
+			p.wg.Wait()
+			return nil, err
+		}
+		p.syns = append(p.syns, s)
+		p.wg.Add(1)
+		go func(s *Synthesizer) {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				job(s)
+			}
+		}(s)
+	}
+	return p, nil
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return len(p.syns) }
+
+// Close stops the workers. Outstanding batch calls finish first; calling
+// any batch method after Close panics.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// BatchJob describes one synthesis job of a mixed batch: exactly one of
+// the three fields must be set.
+type BatchJob struct {
+	Beacon *BeaconJob
+	BR     *BRJob
+	Raw    *RawGFSKJob
+}
+
+// BeaconJob is a BLE advertising synthesis request (see
+// Synthesizer.Beacon).
+type BeaconJob struct {
+	ADStructures []byte
+	Addr         [6]byte
+	BLEChannel   int
+}
+
+// BRJob is a classic BR/EDR baseband synthesis request (see
+// Synthesizer.BRPacket).
+type BRJob struct {
+	Device    Device
+	Packet    *BasebandPacket
+	BTChannel int
+}
+
+// RawGFSKJob is an arbitrary-air-bits synthesis request (see
+// Synthesizer.RawGFSK).
+type RawGFSKJob struct {
+	AirBits []byte
+	FreqMHz float64
+	BLE     bool
+}
+
+// BatchResult pairs one job's outcome with its error; exactly one of the
+// two fields is set.
+type BatchResult struct {
+	Packet *Packet
+	Err    error
+}
+
+func runJob(s *Synthesizer, job BatchJob) BatchResult {
+	switch {
+	case job.Beacon != nil && job.BR == nil && job.Raw == nil:
+		pkt, err := s.Beacon(job.Beacon.ADStructures, job.Beacon.Addr, job.Beacon.BLEChannel)
+		return BatchResult{Packet: pkt, Err: err}
+	case job.BR != nil && job.Beacon == nil && job.Raw == nil:
+		pkt, err := s.BRPacket(job.BR.Device, job.BR.Packet, job.BR.BTChannel)
+		return BatchResult{Packet: pkt, Err: err}
+	case job.Raw != nil && job.Beacon == nil && job.BR == nil:
+		pkt, err := s.RawGFSK(job.Raw.AirBits, job.Raw.FreqMHz, job.Raw.BLE)
+		return BatchResult{Packet: pkt, Err: err}
+	}
+	return BatchResult{Err: fmt.Errorf("bluefi: batch job must set exactly one of Beacon, BR, Raw")}
+}
+
+// SynthesizeBatch runs a mixed batch of jobs across the pool and returns
+// one result per job, in job order. Jobs are independent: an error in one
+// does not abort the others. Must not be called from inside another job
+// (it would deadlock waiting for a free worker).
+func (p *Pool) SynthesizeBatch(jobs []BatchJob) []BatchResult {
+	results := make([]BatchResult, len(jobs))
+	var wg sync.WaitGroup
+	for i := range jobs {
+		i := i
+		wg.Add(1)
+		p.jobs <- func(s *Synthesizer) {
+			defer wg.Done()
+			results[i] = runJob(s, jobs[i])
+		}
+	}
+	wg.Wait()
+	return results
+}
+
+// BeaconBatch synthesizes a fleet of BLE advertising packets — the
+// beacon-deployment workload — returning one result per job, in order.
+func (p *Pool) BeaconBatch(jobs []BeaconJob) []BatchResult {
+	batch := make([]BatchJob, len(jobs))
+	for i := range jobs {
+		batch[i] = BatchJob{Beacon: &jobs[i]}
+	}
+	return p.SynthesizeBatch(batch)
+}
+
+// do runs one function on the next free worker and waits for it.
+func (p *Pool) do(fn func(*Synthesizer)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	p.jobs <- func(s *Synthesizer) {
+		defer wg.Done()
+		fn(s)
+	}
+	wg.Wait()
+}

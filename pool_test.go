@@ -1,0 +1,239 @@
+package bluefi_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bluefi"
+)
+
+// mixedJobs is a batch exercising all three job kinds across channels.
+func mixedJobs() []bluefi.BatchJob {
+	ib := bluefi.IBeacon{Major: 7, Minor: 9}
+	eddy := bluefi.EddystoneUID{}
+	addr := [6]byte{0xC0, 1, 2, 3, 4, 5}
+	raw := make([]byte, 366)
+	for i := range raw {
+		raw[i] = byte(i>>2) & 1
+	}
+	rawB := make([]byte, 366)
+	for i := range rawB {
+		rawB[i] = byte(i>>3) & 1
+	}
+	dev := bluefi.Device{LAP: 0x123456, UAP: 0x9A}
+	return []bluefi.BatchJob{
+		{Beacon: &bluefi.BeaconJob{ADStructures: ib.ADStructures(), Addr: addr, BLEChannel: 38}},
+		{Beacon: &bluefi.BeaconJob{ADStructures: eddy.ADStructures(), Addr: addr, BLEChannel: 38}},
+		{BR: &bluefi.BRJob{Device: dev, Packet: &bluefi.BasebandPacket{Type: bluefi.DM1, LTAddr: 1, Payload: []byte("pool-br-1")}, BTChannel: 24}},
+		{BR: &bluefi.BRJob{Device: dev, Packet: &bluefi.BasebandPacket{Type: bluefi.DH1, LTAddr: 2, SEQN: 1, Payload: []byte("pool-br-2"), Clock: 4}, BTChannel: 20}},
+		{Raw: &bluefi.RawGFSKJob{AirBits: raw, FreqMHz: 2426, BLE: false}},
+		{Raw: &bluefi.RawGFSKJob{AirBits: rawB, FreqMHz: 2426, BLE: true}},
+	}
+}
+
+// TestPoolConcurrentStress hammers one Pool from many goroutines with
+// mixed Beacon/BRPacket/RawGFSK batches and checks every result against
+// a serial single-Synthesizer reference: concurrent workers must never
+// cross-talk (same job → same PSDU, no matter what else is in flight).
+func TestPoolConcurrentStress(t *testing.T) {
+	opts := bluefi.Options{Chip: bluefi.RTL8811AU, Mode: bluefi.RealTime}
+	jobs := mixedJobs()
+	goroutines, rounds := 3, 2
+	if testing.Short() {
+		jobs = jobs[:4]
+		goroutines, rounds = 2, 1
+	}
+
+	ref, err := bluefi.New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([][]byte, len(jobs))
+	for i, job := range jobs {
+		res := serialJob(ref, job)
+		if res.Err != nil {
+			t.Fatalf("serial reference job %d: %v", i, res.Err)
+		}
+		want[i] = res.Packet.PSDU
+	}
+
+	pool, err := bluefi.NewPool(opts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*rounds)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Rotate the batch per goroutine so workers interleave
+			// different job kinds at the same time.
+			batch := make([]bluefi.BatchJob, len(jobs))
+			idx := make([]int, len(jobs))
+			for i := range jobs {
+				j := (i + g) % len(jobs)
+				batch[i], idx[i] = jobs[j], j
+			}
+			for r := 0; r < rounds; r++ {
+				results := pool.SynthesizeBatch(batch)
+				for i, res := range results {
+					if res.Err != nil {
+						errs <- fmt.Errorf("goroutine %d round %d job %d: %v", g, r, idx[i], res.Err)
+						return
+					}
+					if !bytes.Equal(res.Packet.PSDU, want[idx[i]]) {
+						errs <- fmt.Errorf("goroutine %d round %d job %d: PSDU differs from serial reference", g, r, idx[i])
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// serialJob runs one BatchJob on a plain Synthesizer.
+func serialJob(s *bluefi.Synthesizer, job bluefi.BatchJob) bluefi.BatchResult {
+	switch {
+	case job.Beacon != nil:
+		pkt, err := s.Beacon(job.Beacon.ADStructures, job.Beacon.Addr, job.Beacon.BLEChannel)
+		return bluefi.BatchResult{Packet: pkt, Err: err}
+	case job.BR != nil:
+		pkt, err := s.BRPacket(job.BR.Device, job.BR.Packet, job.BR.BTChannel)
+		return bluefi.BatchResult{Packet: pkt, Err: err}
+	case job.Raw != nil:
+		pkt, err := s.RawGFSK(job.Raw.AirBits, job.Raw.FreqMHz, job.Raw.BLE)
+		return bluefi.BatchResult{Packet: pkt, Err: err}
+	}
+	return bluefi.BatchResult{Err: fmt.Errorf("empty job")}
+}
+
+// TestPoolBatchOrderAndErrors: results land at their job's index and a
+// failing job does not poison its neighbours.
+func TestPoolBatchOrderAndErrors(t *testing.T) {
+	pool, err := bluefi.NewPool(bluefi.Options{Mode: bluefi.RealTime}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	ib := bluefi.IBeacon{Major: 1}
+	addr := [6]byte{1, 2, 3, 4, 5, 6}
+	jobs := []bluefi.BatchJob{
+		{Beacon: &bluefi.BeaconJob{ADStructures: ib.ADStructures(), Addr: addr, BLEChannel: 38}},
+		{}, // invalid: no job kind set
+		{Beacon: &bluefi.BeaconJob{ADStructures: ib.ADStructures(), Addr: addr, BLEChannel: 99}}, // invalid channel
+		{Beacon: &bluefi.BeaconJob{ADStructures: ib.ADStructures(), Addr: addr, BLEChannel: 38}},
+	}
+	results := pool.SynthesizeBatch(jobs)
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results for %d jobs", len(results), len(jobs))
+	}
+	if results[0].Err != nil || results[3].Err != nil {
+		t.Fatalf("valid jobs failed: %v, %v", results[0].Err, results[3].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("empty job did not error")
+	}
+	if results[2].Err == nil {
+		t.Error("invalid BLE channel did not error")
+	}
+	if !bytes.Equal(results[0].Packet.PSDU, results[3].Packet.PSDU) {
+		t.Error("identical jobs at indices 0 and 3 produced different PSDUs")
+	}
+}
+
+// TestPoolBeaconBatch checks the beacon-fleet convenience wrapper.
+func TestPoolBeaconBatch(t *testing.T) {
+	pool, err := bluefi.NewPool(bluefi.Options{Mode: bluefi.RealTime}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Workers() != 2 {
+		t.Fatalf("Workers() = %d, want 2", pool.Workers())
+	}
+
+	jobs := make([]bluefi.BeaconJob, 3)
+	for i := range jobs {
+		ib := bluefi.IBeacon{Major: uint16(i + 1)}
+		// Channel 38 (2426 MHz) is the one advertising channel inside
+		// WiFi channel 3.
+		jobs[i] = bluefi.BeaconJob{ADStructures: ib.ADStructures(), Addr: [6]byte{9, 8, 7, 6, 5, byte(i)}, BLEChannel: 38}
+	}
+	results := pool.BeaconBatch(jobs)
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("beacon %d: %v", i, res.Err)
+		}
+		if len(res.Packet.PSDU) == 0 {
+			t.Fatalf("beacon %d: empty PSDU", i)
+		}
+	}
+	// Distinct majors and channels must yield distinct frames.
+	if bytes.Equal(results[0].Packet.PSDU, results[1].Packet.PSDU) {
+		t.Error("distinct beacons produced identical PSDUs")
+	}
+}
+
+// TestPoolAudioStream: a pool-backed stream must produce exactly the
+// transmissions of a single-synthesizer stream — concurrent segment
+// synthesis may not change the audio path's output.
+func TestPoolAudioStream(t *testing.T) {
+	cfg := bluefi.AudioConfig{
+		Device:          bluefi.Device{LAP: 3, UAP: 4},
+		PacketType:      bluefi.DM1,
+		SBC:             bluefi.SBCConfig{SampleRateHz: 16000, Blocks: 4, Subbands: 4, Bitpool: 8},
+		FramesPerPacket: 1,
+	}
+	syn, err := bluefi.New(bluefi.Options{Mode: bluefi.RealTime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := syn.NewAudioStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool, err := bluefi.NewPool(bluefi.Options{Mode: bluefi.RealTime}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	pooled, err := pool.NewAudioStream(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for send := 0; send < 2; send++ {
+		wantTxs, err := serial.Send(testTone(serial, send*serial.SamplesPerSend()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotTxs, err := pooled.Send(testTone(pooled, send*pooled.SamplesPerSend()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(gotTxs) != len(wantTxs) {
+			t.Fatalf("send %d: %d segments from pool stream, %d from serial", send, len(gotTxs), len(wantTxs))
+		}
+		for i := range wantTxs {
+			if gotTxs[i].Clock != wantTxs[i].Clock || gotTxs[i].BTChannel != wantTxs[i].BTChannel {
+				t.Errorf("send %d segment %d: slot (%d, ch %d) vs serial (%d, ch %d)",
+					send, i, gotTxs[i].Clock, gotTxs[i].BTChannel, wantTxs[i].Clock, wantTxs[i].BTChannel)
+			}
+			if !bytes.Equal(gotTxs[i].Packet.PSDU, wantTxs[i].Packet.PSDU) {
+				t.Errorf("send %d segment %d: pooled PSDU differs from serial", send, i)
+			}
+		}
+	}
+}
