@@ -1,6 +1,15 @@
 # Tier-1 gate: what every change must keep green.
 .PHONY: verify
-verify: vet build test
+verify: vet build test lint
+
+# Invariant lint tier: one binary runs the four BlueFi analyzers
+# (determinism, poolbalance, lockcheck, scratchalias) plus the std vet
+# passes the repo cares about (copylocks, loopclosure, atomicassign,
+# nilness). Non-zero exit on any finding. See DESIGN.md §7 for the
+# annotations the analyzers understand.
+.PHONY: lint
+lint:
+	go run ./cmd/bluefi-lint ./...
 
 .PHONY: vet
 vet:

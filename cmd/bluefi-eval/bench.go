@@ -179,7 +179,7 @@ func poolBeaconBench() func(b *testing.B) {
 // the snapshot.
 func runBenchJSON(path string) error {
 	snap := &benchSnapshot{
-		Generated: time.Now().UTC().Format(time.RFC3339),
+		Generated: time.Now().UTC().Format(time.RFC3339), //bluefi:nondeterministic-ok snapshot provenance timestamp in BENCH_eval.json
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 	}

@@ -1,0 +1,88 @@
+// bluefi-lint is the repo's multichecker: four BlueFi-specific
+// analyzers (determinism, poolbalance, lockcheck, scratchalias) plus
+// reimplementations of the vet passes the lint tier needs (copylocks,
+// loopclosure, atomicassign, nilness), in one binary invocation.
+//
+// Usage:
+//
+//	bluefi-lint [-run regexp] [-list] [packages...]
+//
+// Packages default to ./... relative to the enclosing module. The exit
+// status is 1 when any diagnostic is reported, so `make lint` gates CI.
+//
+// The framework is self-contained (no golang.org/x/tools dependency):
+// see internal/analysis/framework. Invariant annotations understood by
+// the analyzers are documented in DESIGN.md §7.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"bluefi/internal/analysis/determinism"
+	"bluefi/internal/analysis/framework"
+	"bluefi/internal/analysis/lockcheck"
+	"bluefi/internal/analysis/poolbalance"
+	"bluefi/internal/analysis/scratchalias"
+	"bluefi/internal/analysis/stdchecks"
+)
+
+var all = []*framework.Analyzer{
+	determinism.Analyzer,
+	poolbalance.Analyzer,
+	lockcheck.Analyzer,
+	scratchalias.Analyzer,
+	stdchecks.Copylocks,
+	stdchecks.Loopclosure,
+	stdchecks.AtomicAssign,
+	stdchecks.Nilness,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	run := flag.String("run", "", "only run analyzers whose name matches this regexp")
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := all
+	if *run != "" {
+		re, err := regexp.Compile(*run)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-lint: bad -run regexp: %v\n", err)
+			os.Exit(2)
+		}
+		analyzers = nil
+		for _, a := range all {
+			if re.MatchString(a.Name) {
+				analyzers = append(analyzers, a)
+			}
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bluefi-lint: %v\n", err)
+		os.Exit(2)
+	}
+	n, err := framework.Lint(os.Stdout, cwd, analyzers, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bluefi-lint: %v\n", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "bluefi-lint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

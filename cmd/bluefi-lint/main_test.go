@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bluefi/internal/analysis/framework"
+)
+
+// TestLintFindsSeededViolation builds a scratch module containing a
+// determinism violation and requires the multichecker to report it —
+// the finding count that makes the bluefi-lint binary exit non-zero.
+func TestLintFindsSeededViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go list -export on a scratch module; skipped in -short")
+	}
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module scratchlint\n\ngo 1.22\n",
+		"bad.go": `package scratchlint
+
+import "math/rand"
+
+func Roll() int { return rand.Intn(6) }
+`,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out strings.Builder
+	n, err := framework.Lint(&out, dir, all, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("expected the seeded rand.Intn violation to be reported")
+	}
+	if !strings.Contains(out.String(), "process-seeded global source") {
+		t.Errorf("unexpected diagnostic output:\n%s", out.String())
+	}
+}
+
+// TestRepoIsLintClean runs the full multichecker over the module — the
+// same invocation as `make lint` — and requires zero findings. Any new
+// nondeterminism, pool imbalance, lock-discipline breach or scratch
+// alias in the repo fails this test before it reaches CI's lint job.
+func TestRepoIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repo-wide lint compiles the module; skipped in -short")
+	}
+	moduleDir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(moduleDir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(moduleDir)
+		if parent == moduleDir {
+			t.Fatal("no go.mod above test working directory")
+		}
+		moduleDir = parent
+	}
+	var out strings.Builder
+	n, err := framework.Lint(&out, moduleDir, all, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("bluefi-lint found %d issue(s) in the repo:\n%s", n, out.String())
+	}
+}

@@ -101,15 +101,18 @@ type StreamConfig struct {
 // out over a worker pool, rehearsal-gated Reslot calls race from several
 // goroutines, and each must atomically claim the next usable slot.
 type Scheduler struct {
-	mu      sync.Mutex
-	cfg     StreamConfig
-	hop     *bt.HopSelector
-	afh     *bt.AFHMap
-	best    map[int]bool
-	clk     bt.Clock
-	seq     uint16
-	ssrc    uint32
-	tsTicks uint32
+	mu sync.Mutex
+	// cfg, hop, afh, best and ssrc are immutable after NewScheduler;
+	// concurrent reads need no lock.
+	cfg  StreamConfig
+	hop  *bt.HopSelector
+	afh  *bt.AFHMap
+	best map[int]bool
+	ssrc uint32
+
+	clk     bt.Clock // guarded by mu
+	seq     uint16   // guarded by mu
+	tsTicks uint32   // guarded by mu
 }
 
 // ScheduledPacket is one audio transmission: the baseband packet, the

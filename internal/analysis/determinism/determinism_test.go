@@ -1,0 +1,17 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"bluefi/internal/analysis/analysistest"
+	"bluefi/internal/analysis/determinism"
+)
+
+// TestDeterminism covers both tiers: the strict fixture's import path
+// ends in internal/core, the lax fixture simulates noise. Every
+// diagnostic message and both suppression paths (reasoned, reasonless)
+// have expectations in the fixtures.
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
+		"bluefi/internal/core", "sim/noise")
+}

@@ -1,0 +1,33 @@
+package framework
+
+import (
+	"fmt"
+	"io"
+)
+
+// Lint loads every module package matched by patterns, applies the
+// analyzers, prints diagnostics to w and returns the diagnostic count.
+// This is the whole multichecker: cmd/bluefi-lint is a thin flag shim
+// over it, and the repo-wide self-test calls it directly.
+func Lint(w io.Writer, dir string, analyzers []*Analyzer, patterns []string) (int, error) {
+	loader, err := NewLoader(dir)
+	if err != nil {
+		return 0, err
+	}
+	pkgs, err := loader.LoadPackages(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, pkg := range pkgs {
+		diags, err := Run(pkg, analyzers)
+		if err != nil {
+			return n, err
+		}
+		for _, d := range diags {
+			n++
+			fmt.Fprintln(w, d.String())
+		}
+	}
+	return n, nil
+}

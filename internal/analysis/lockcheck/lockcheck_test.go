@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"bluefi/internal/analysis/analysistest"
+	"bluefi/internal/analysis/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), lockcheck.Analyzer, "lockcheck/a")
+}

@@ -1,0 +1,12 @@
+package poolbalance_test
+
+import (
+	"testing"
+
+	"bluefi/internal/analysis/analysistest"
+	"bluefi/internal/analysis/poolbalance"
+)
+
+func TestPoolBalance(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poolbalance.Analyzer, "poolbal/a")
+}

@@ -1,0 +1,12 @@
+package scratchalias_test
+
+import (
+	"testing"
+
+	"bluefi/internal/analysis/analysistest"
+	"bluefi/internal/analysis/scratchalias"
+)
+
+func TestScratchAlias(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), scratchalias.Analyzer, "scratchfix/internal/core")
+}

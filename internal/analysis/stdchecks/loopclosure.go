@@ -1,0 +1,88 @@
+package stdchecks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bluefi/internal/analysis/framework"
+)
+
+// Loopclosure flags `go` and `defer` function literals that capture a
+// loop's iteration variable. Under Go ≥1.22 semantics the goroutine
+// case is no longer a correctness bug, but the repo's concurrency
+// convention (see core/search.go) is to pass iteration state as
+// explicit arguments — captures hide the data flow and regress
+// silently if the module's language version is ever lowered. The defer
+// case is a live bug in any version: the deferred calls all run after
+// the loop with whatever the variable last held.
+var Loopclosure = &framework.Analyzer{
+	Name: "loopclosure",
+	Doc:  "flag go/defer closures capturing loop iteration variables",
+	Run:  runLoopclosure,
+}
+
+func runLoopclosure(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			loopVars := map[types.Object]bool{}
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				body = n.Body
+				for _, e := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			case *ast.ForStmt:
+				body = n.Body
+				if init, ok := n.Init.(*ast.AssignStmt); ok {
+					for _, lhs := range init.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil {
+								loopVars[obj] = true
+							}
+						}
+					}
+				}
+			default:
+				return true
+			}
+			if len(loopVars) == 0 {
+				return true
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				var fl *ast.FuncLit
+				var verb string
+				switch n := n.(type) {
+				case *ast.GoStmt:
+					fl, _ = n.Call.Fun.(*ast.FuncLit)
+					verb = "go"
+				case *ast.DeferStmt:
+					fl, _ = n.Call.Fun.(*ast.FuncLit)
+					verb = "defer"
+				default:
+					return true
+				}
+				if fl == nil {
+					return true
+				}
+				ast.Inspect(fl.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if obj := pass.TypesInfo.Uses[id]; obj != nil && loopVars[obj] {
+						pass.Reportf(id.Pos(), "%s closure captures loop variable %s; pass it as an argument instead", verb, id.Name)
+					}
+					return true
+				})
+				return true
+			})
+			return true
+		})
+	}
+	return nil
+}

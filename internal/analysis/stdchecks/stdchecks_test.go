@@ -1,0 +1,24 @@
+package stdchecks_test
+
+import (
+	"testing"
+
+	"bluefi/internal/analysis/analysistest"
+	"bluefi/internal/analysis/stdchecks"
+)
+
+func TestCopylocks(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), stdchecks.Copylocks, "copylocks/a")
+}
+
+func TestLoopclosure(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), stdchecks.Loopclosure, "loopclosure/a")
+}
+
+func TestAtomicAssign(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), stdchecks.AtomicAssign, "atomicassign/a")
+}
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), stdchecks.Nilness, "nilness/a")
+}

@@ -1,0 +1,33 @@
+// Fixture for the atomicassign analyzer.
+package a
+
+import "sync/atomic"
+
+var n int32
+
+type S struct{ c int64 }
+
+func selfAssign() {
+	n = atomic.AddInt32(&n, 1) // want `direct assignment of atomic.AddInt32 result back to its operand`
+}
+
+func selfAssignField(s *S) {
+	s.c = atomic.AddInt64(&s.c, 1) // want `direct assignment of atomic.AddInt64 result back to its operand`
+}
+
+func selfSwap() {
+	n = atomic.SwapInt32(&n, 0) // want `direct assignment of atomic.SwapInt32 result back to its operand`
+}
+
+func discardIsFine() {
+	atomic.AddInt32(&n, 1)
+}
+
+func otherTargetIsFine() int32 {
+	m := atomic.AddInt32(&n, 1)
+	return m
+}
+
+func loadIsFine() {
+	n = atomic.LoadInt32(&n)
+}

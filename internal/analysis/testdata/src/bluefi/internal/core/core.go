@@ -1,0 +1,57 @@
+// Strict-tier determinism fixture: this fake package's import path ends
+// in internal/core, so every randomness source, wall-clock read, map
+// range and multi-case select is a violation.
+package core
+
+import (
+	"math/rand" // want `deterministic package .* imports "math/rand"`
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now() // want `time.Now reads the wall clock`
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want `time.Until reads the wall clock`
+}
+
+func seededIsStillBanned() float64 {
+	rng := rand.New(rand.NewSource(1)) // want `call of math/rand.New in deterministic package` `call of math/rand.NewSource in deterministic package`
+	return rng.Float64() // want `call of math/rand.Float64 in deterministic package`
+}
+
+func globalRand() int {
+	return rand.Intn(4) // want `call of math/rand.Intn in deterministic package`
+}
+
+func mapOrder(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+func schedulerChoice(a, b chan int) int {
+	select { // want `select over 2 cases resolves by scheduler choice`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func suppressedWithReason() time.Time {
+	return time.Now() //bluefi:nondeterministic-ok stage timing probe, never reaches output bits
+}
+
+func suppressedWithoutReason() time.Time {
+	return time.Now() //bluefi:nondeterministic-ok // want `time.Now reads the wall clock` `suppression //bluefi:nondeterministic-ok needs a reason`
+}
+
+func suppressedOnLineAbove() time.Time {
+	//bluefi:nondeterministic-ok timing probe on the preceding line also suppresses
+	return time.Now()
+}

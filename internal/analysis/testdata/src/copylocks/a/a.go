@@ -1,0 +1,54 @@
+// Fixture for the copylocks analyzer.
+package a
+
+import "sync"
+
+type T struct {
+	mu sync.Mutex
+	n  int
+}
+
+type nested struct{ t T }
+
+var wg sync.WaitGroup
+
+func byValueParam(t T) { _ = t } // want `parameter passes lock by value`
+
+func byValueNested(n nested) { _ = n } // want `parameter passes lock by value`
+
+func byValueResult() T { // want `result passes lock by value`
+	return T{}
+}
+
+func (t T) valueReceiver() {} // want `receiver passes lock by value`
+
+func (t *T) pointerReceiver() {}
+
+func byPointer(t *T) { _ = t }
+
+func assignCopy(a *T) {
+	b := *a // want `assignment copies lock value`
+	_ = b
+}
+
+func assignIdent() {
+	w := wg // want `assignment copies lock value`
+	_ = w
+}
+
+func freshLiteralIsFine() {
+	t := T{}
+	_ = t
+}
+
+func rangeCopy(ts []T) {
+	for _, t := range ts { // want `range value copies lock value`
+		_ = t
+	}
+}
+
+func rangeIndexIsFine(ts []T) {
+	for i := range ts {
+		_ = ts[i].n
+	}
+}

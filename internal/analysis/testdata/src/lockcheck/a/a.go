@@ -1,0 +1,75 @@
+// Fixture for the lockcheck analyzer: the guarded-field annotation, the
+// three ways a function may legitimately touch a guarded field, and the
+// violations.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type mislabeled struct {
+	mu  sync.Mutex
+	bad int // guarded by lock // want `field is .guarded by lock. but struct mislabeled has no sync.Mutex/sync.RWMutex field named lock`
+}
+
+type notAMutex struct {
+	lock int
+	v    int // guarded by lock // want `field is .guarded by lock. but struct notAMutex has no sync.Mutex/sync.RWMutex field named lock`
+}
+
+// Inc holds the mutex: the canonical prologue.
+func (c *counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// addLocked follows the *Locked naming convention: caller holds mu.
+func (c *counter) addLocked(d int) {
+	c.n += d
+}
+
+// Get does not hold the mutex.
+func (c *counter) Get() int {
+	return c.n // want `counter.n is guarded by mu but Get accesses it without holding the lock`
+}
+
+// lateLock locks only after the access.
+func (c *counter) lateLock() int {
+	v := c.n // want `counter.n is guarded by mu but lateLock accesses it without holding the lock`
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return v + c.n
+}
+
+// newCounter touches the field before the value is shared: fine.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// snapshot documents an intentional lock-free read.
+func snapshot(c *counter) int {
+	return c.n //bluefi:lock-ok racy stats read, staleness is acceptable here
+}
+
+type rw struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+// Read holds the read lock; RLock counts.
+func (r *rw) Read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// Peek holds nothing.
+func (r *rw) Peek() int {
+	return r.v // want `rw.v is guarded by mu but Peek accesses it without holding the lock`
+}

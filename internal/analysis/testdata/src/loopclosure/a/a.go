@@ -1,0 +1,42 @@
+// Fixture for the loopclosure analyzer.
+package a
+
+func deferInLoop() {
+	for i := 0; i < 3; i++ {
+		defer func() {
+			println(i) // want `defer closure captures loop variable i`
+		}()
+	}
+}
+
+func goInRange(xs []int) {
+	for _, v := range xs {
+		go func() {
+			println(v) // want `go closure captures loop variable v`
+		}()
+	}
+}
+
+func goKeyInRange(xs []int) {
+	for i := range xs {
+		go func() {
+			println(i) // want `go closure captures loop variable i`
+		}()
+	}
+}
+
+// explicitArg is the repo convention (see core/search.go).
+func explicitArg(xs []int) {
+	for _, v := range xs {
+		go func(v int) {
+			println(v)
+		}(v)
+	}
+}
+
+// insideCall closures not launched by go/defer may capture freely.
+func insideCall(xs []int, f func(func())) {
+	for _, v := range xs {
+		f(func() { println(v) })
+	}
+}

@@ -1,0 +1,72 @@
+// Fixture for the nilness analyzer.
+package a
+
+type T struct{ f int }
+
+func (t *T) method() {}
+
+func fieldOnNil(p *T) int {
+	if p == nil {
+		return p.f // want `p is nil on this branch; selecting p.f panics`
+	}
+	return 0
+}
+
+func indexOnNil(s []int) int {
+	if s == nil {
+		return s[0] // want `s is nil on this branch; indexing it panics`
+	}
+	return s[0]
+}
+
+func derefOnNil(p *int) int {
+	if nil == p {
+		return *p // want `p is nil on this branch; dereferencing it panics`
+	}
+	return *p
+}
+
+func callOnNil(f func() int) int {
+	if f == nil {
+		return f() // want `f is nil on this branch; calling it panics`
+	}
+	return f()
+}
+
+func elseBranch(p *T) int {
+	if p != nil {
+		return p.f
+	} else {
+		return p.f // want `p is nil on this branch; selecting p.f panics`
+	}
+}
+
+func reassignedIsFine(p *T) int {
+	if p == nil {
+		p = &T{}
+		return p.f
+	}
+	return p.f
+}
+
+// methodOnNil is legal Go: a pointer-receiver method may run on nil.
+func methodOnNil(p *T) {
+	if p == nil {
+		p.method()
+	}
+}
+
+// mapReadOnNil is legal Go: reading a nil map yields the zero value.
+func mapReadOnNil(m map[int]int) int {
+	if m == nil {
+		return m[0]
+	}
+	return m[0]
+}
+
+func guardIsFine(p *T) int {
+	if p == nil {
+		return 0
+	}
+	return p.f
+}

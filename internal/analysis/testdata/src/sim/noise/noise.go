@@ -1,0 +1,33 @@
+// Lax-tier determinism fixture: simulation packages may consume
+// randomness, but only through explicitly seeded generators; the
+// process-seeded global math/rand source and wall-clock reads are still
+// violations.
+package noise
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Config struct{ Seed int64 }
+
+func seededIsFine(c Config) float64 {
+	rng := rand.New(rand.NewSource(c.Seed))
+	return rng.NormFloat64()
+}
+
+func globalSource() int {
+	return rand.Intn(4) // want `math/rand.Intn draws from the process-seeded global source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand.Shuffle draws from the process-seeded global source`
+}
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func timestamp() time.Time {
+	return time.Now() //bluefi:nondeterministic-ok report provenance timestamp, not part of any figure
+}

@@ -94,7 +94,7 @@ func (s *Synthesizer) searchParallel(basebandPhase []float64, btMHz float64) (*R
 		var wg sync.WaitGroup
 		for i, rot := range searchRotations {
 			wg.Add(1)
-			go func(i int, rot float64) {
+			go func(i int, rot float64, extraLead int) {
 				defer wg.Done()
 				w := <-s.workerCh
 				defer func() { s.workerCh <- w }()
@@ -106,7 +106,7 @@ func (s *Synthesizer) searchParallel(basebandPhase []float64, btMHz float64) (*R
 				mis, margin := w.rehearse(res, len(basebandPhase))
 				res.RehearsalMismatches = mis
 				group[i] = searchCandidate{res: res, mis: mis, margin: margin}
-			}(i, rot)
+			}(i, rot, extraLead)
 		}
 		wg.Wait()
 		for _, c := range group {

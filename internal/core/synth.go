@@ -496,7 +496,7 @@ type synthPass struct {
 
 // synthOnce runs the open-loop pipeline of §2.3–2.8 for a target phase.
 func (s *Synthesizer) synthOnce(target []float64, nsym int, offsetHz float64) (*synthPass, error) {
-	t0 := time.Now()
+	t0 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
 	design := DesignCP
 	if s.opts.BlendCP {
 		design = DesignCPBlend
@@ -505,18 +505,18 @@ func (s *Synthesizer) synthOnce(target []float64, nsym int, offsetHz float64) (*
 	if err != nil {
 		return nil, err
 	}
-	t1 := time.Now()
+	t1 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
 	coded, err := s.fitSymbols(thetaHat, nsym, offsetHz)
 	if err != nil {
 		return nil, err
 	}
-	t2 := time.Now()
+	t2 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
 	weights := CodedBitWeights(s.il, s.mcs.Modulation, offsetHz, nsym)
 	data, err := s.invert(coded, weights, nsym)
 	if err != nil {
 		return nil, err
 	}
-	t3 := time.Now()
+	t3 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
 
 	reCoded := wifi.EncodeRate(data, s.mcs.Rate)
 	p := &synthPass{data: data, coded: coded}
@@ -918,7 +918,7 @@ func (s *Synthesizer) synthesizeShifted(basebandPhase []float64, btMHz float64, 
 	s.extraLead = extraLead
 	defer func() { s.extraPhase = 0; s.extraLead = 0 }()
 
-	t0 := time.Now()
+	t0 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
 	s.lastOffsetHz = plan.OffsetHz
 	theta, lead, nsym := s.layoutPhase(basebandPhase, plan.OffsetHz)
 	iterations := s.opts.PredistortIterations
@@ -957,7 +957,7 @@ func (s *Synthesizer) synthesizeShifted(basebandPhase []float64, btMHz float64, 
 			return nil, err
 		}
 	}
-	t1 := time.Now()
+	t1 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
 
 	// Descramble and pack the PSDU.
 	psduLen, _ := s.frameLayout(nsym)
@@ -966,7 +966,7 @@ func (s *Synthesizer) synthesizeShifted(basebandPhase []float64, btMHz float64, 
 	if err != nil {
 		return nil, err
 	}
-	timings.Scramble += time.Since(t1)
+	timings.Scramble += time.Since(t1) //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
 
 	// Predicted waveform: what the chip will emit for this PSDU
 	// (including the preamble when configured).

@@ -22,7 +22,7 @@ type Pool struct {
 	jobs chan func(*Synthesizer)
 
 	mu     sync.Mutex
-	closed bool
+	closed bool // guarded by mu
 	wg     sync.WaitGroup
 }
 
