@@ -45,3 +45,10 @@ bench-json:
 .PHONY: bench
 bench:
 	go test -bench . -benchmem ./...
+
+# Telemetry overhead gate: an attached registry may cost at most 5% on
+# the §4.8 real-time synthesis ns/op versus telemetry disabled
+# (DESIGN.md §8's budget). Non-zero exit on regression.
+.PHONY: obs-overhead
+obs-overhead:
+	go run ./cmd/bluefi-eval -obs-overhead

@@ -1,13 +1,16 @@
 package bluefi
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"bluefi/internal/a2dp"
 	"bluefi/internal/bt"
 	"bluefi/internal/core"
+	"bluefi/internal/obs"
 	"bluefi/internal/sbc"
 )
 
@@ -78,6 +81,46 @@ type AudioStream struct {
 	sbcCfg sbc.Config
 	dev    Device
 	frames int // SBC frames per media packet
+
+	// slotBudget is the real-time synthesis deadline per segment: the
+	// slots the packet occupies (rounded up to the even slot the master
+	// resumes on) × 625 µs — a DM1 must synthesize within its 1.25 ms
+	// slot pair (§4.7). met is nil without telemetry; obsCtx carries the
+	// registry for per-segment spans.
+	slotBudget time.Duration
+	met        *audioMetrics
+	obsCtx     context.Context
+}
+
+// audioMetrics holds the audio path's telemetry handles; nil disables
+// them at one branch per record.
+type audioMetrics struct {
+	slack *obs.Histogram
+	late  *obs.Counter
+}
+
+func newAudioMetrics(r *obs.Registry) *audioMetrics {
+	if r == nil {
+		return nil
+	}
+	return &audioMetrics{
+		// ±10 ms around the deadline in 1.25 ms slot-pair steps.
+		slack: r.Histogram("bluefi_audio_deadline_slack_seconds",
+			"slot budget minus segment synthesis time (negative = deadline missed)",
+			obs.LinearBuckets(-10e-3, 1.25e-3, 17)),
+		late: r.Counter("bluefi_audio_frames_late_total",
+			"segments whose synthesis exceeded the slot budget"),
+	}
+}
+
+func (m *audioMetrics) observeSegment(slack time.Duration) {
+	if m == nil {
+		return
+	}
+	m.slack.Observe(slack.Seconds())
+	if slack < 0 {
+		m.late.Inc()
+	}
 }
 
 // AudioTransmission is one baseband packet of the stream, synthesized
@@ -121,6 +164,7 @@ func (s *Synthesizer) NewAudioStream(cfg AudioConfig) (*AudioStream, error) {
 		WiFiCenterMHz: center,
 		PacketType:    pt,
 		BestChannels:  best,
+		Telemetry:     s.opts.Telemetry,
 	})
 	if err != nil {
 		return nil, err
@@ -136,7 +180,16 @@ func (s *Synthesizer) NewAudioStream(cfg AudioConfig) (*AudioStream, error) {
 	if frames < 1 {
 		frames = 1 // L2CAP segmentation spreads it over several packets
 	}
-	return &AudioStream{syn: s, sched: sched, enc: enc, sbcCfg: sbcCfg, dev: cfg.Device, frames: frames}, nil
+	adv := pt.Slots()
+	if adv%2 == 1 {
+		adv++
+	}
+	return &AudioStream{
+		syn: s, sched: sched, enc: enc, sbcCfg: sbcCfg, dev: cfg.Device, frames: frames,
+		slotBudget: time.Duration(adv) * 625 * time.Microsecond,
+		met:        newAudioMetrics(s.opts.Telemetry),
+		obsCtx:     obs.WithRegistry(context.Background(), s.opts.Telemetry),
+	}, nil
 }
 
 // SamplesPerSend returns the PCM samples per channel one Send consumes.
@@ -181,6 +234,7 @@ func (a *AudioStream) Send(pcm [][]float64) ([]*AudioTransmission, error) {
 		for i, sp := range scheduled {
 			i, sp := i, sp
 			wg.Add(1)
+			a.pool.met.enqueued()
 			a.pool.jobs <- func(s *Synthesizer) {
 				defer wg.Done()
 				out[i], errs[i] = a.synthesizeScheduled(s, sp)
@@ -210,21 +264,34 @@ func (a *AudioStream) Send(pcm [][]float64) ([]*AudioTransmission, error) {
 // more bit errors than the packet's FEC can absorb, move to the next slot
 // — its clock re-whitens the payload into a fresh waveform.
 func (a *AudioStream) synthesizeScheduled(syn *Synthesizer, sp *a2dp.ScheduledPacket) (*AudioTransmission, error) {
+	_, span := obs.StartSpan(a.obsCtx, "audio.segment")
 	var res *core.Result
+	var spent core.Timings // across re-slot attempts; reported on the winner
 	for attempt := 0; ; attempt++ {
 		air, err := sp.Packet.AirBits(bt.Device(a.dev))
 		if err != nil {
+			span.End()
 			return nil, err
 		}
 		res, err = syn.br.Synthesize(air, sp.ChannelMHz)
 		if err != nil {
+			span.End()
 			return nil, err
 		}
+		spent.IQGen += res.Timings.IQGen
+		spent.FFTQAM += res.Timings.FFTQAM
+		spent.FEC += res.Timings.FEC
+		spent.Scramble += res.Timings.Scramble
 		if res.RehearsalMismatches <= 4 || attempt >= 3 {
 			break
 		}
 		sp = a.sched.Reslot(sp)
 	}
+	res.Timings = spent
+	// Deadline slack: how much of the slot budget (packet slots × 625 µs)
+	// the rehearsal-gated synthesis left unused. Negative means the frame
+	// would have missed its slot on a live link.
+	a.met.observeSegment(a.slotBudget - span.End())
 	pkt, err := syn.wrap(res, -1)
 	if err != nil {
 		return nil, err

@@ -178,6 +178,45 @@ func BenchmarkSynthesizeBeacon(b *testing.B) {
 	}
 }
 
+// BenchmarkSynthesize compares the §4.8 real-time path with telemetry
+// disabled and attached — the pairing `make obs-overhead` gates at ≤5%.
+// The disabled case costs one nil-check branch per record site; the
+// attached case adds the clock reads and atomic updates.
+func BenchmarkSynthesize(b *testing.B) {
+	for _, bench := range []struct {
+		name string
+		reg  *bluefi.Telemetry
+	}{
+		{"telemetry=off", nil},
+		{"telemetry=on", bluefi.NewTelemetry()},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			opts := core.DefaultOptions()
+			opts.Mode = core.RealTime
+			opts.GFSK = gfsk.BRConfig()
+			opts.PSDUOnly = true
+			opts.DynamicScale = false
+			opts.Telemetry = bench.reg
+			s, err := core.New(opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pkt := &bt.Packet{Type: bt.DM1, LTAddr: 1, Payload: make([]byte, 17)}
+			air, err := pkt.AirBits(bt.Device{LAP: 0x123456, UAP: 0x9A})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Synthesize(air, 2426); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPoolBeaconBatch measures the Pool path end to end: a batch of
 // distinct beacons fanned over GOMAXPROCS workers; ns/op is per beacon.
 func BenchmarkPoolBeaconBatch(b *testing.B) {

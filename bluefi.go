@@ -32,6 +32,30 @@ import (
 	"bluefi/internal/chip"
 	"bluefi/internal/core"
 	"bluefi/internal/gfsk"
+	"bluefi/internal/obs"
+)
+
+// Telemetry is the unified observability registry: typed metrics
+// (counters, gauges, latency histograms), span traces of the synthesis
+// pipeline, and exporters. Attach one registry via Options.Telemetry
+// (and a2dp.StreamConfig.Telemetry / NewPool) to see stage latency
+// histograms, pool queue depth, scheduler deadline slack and FEC
+// statistics; serve Telemetry.Handler() for /metrics (Prometheus text
+// format), /metrics.json and /traces. A nil registry disables all
+// recording at the cost of one branch per record site.
+type Telemetry = obs.Registry
+
+// NewTelemetry returns an empty telemetry registry.
+func NewTelemetry() *Telemetry { return obs.NewRegistry() }
+
+// TelemetryCounter, TelemetryGauge and TelemetryHistogram name the
+// metric handles a Telemetry registry hands out, so callers can store
+// them in struct fields and register metrics of their own next to the
+// built-in bluefi_* families.
+type (
+	TelemetryCounter   = obs.Counter
+	TelemetryGauge     = obs.Gauge
+	TelemetryHistogram = obs.Histogram
 )
 
 // Mode selects the FEC-inversion strategy (paper §2.7).
@@ -81,6 +105,10 @@ type Options struct {
 	WiFiChannel int
 	// Mode selects Quality (default) or RealTime synthesis.
 	Mode Mode
+	// Telemetry, when non-nil, receives synthesis metrics and spans (see
+	// the Telemetry type). Pools and audio streams built from these
+	// options share the registry.
+	Telemetry *Telemetry
 }
 
 // Synthesizer converts Bluetooth packets to WiFi PSDUs for one chip and
@@ -113,6 +141,7 @@ func New(opts Options) (*Synthesizer, error) {
 		o.WiFiChannel = opts.WiFiChannel
 		o.ScramblerSeed = c.NextSeed()
 		o.GFSK = g
+		o.Telemetry = opts.Telemetry
 		return core.New(o)
 	}
 	q, err := mk(gfsk.BLEConfig())
@@ -302,6 +331,14 @@ type AltBeacon = beacon.AltBeacon
 // ChannelPlan scores a WiFi channel as a carrier for a Bluetooth
 // frequency (paper §2.6).
 type ChannelPlan = core.ChannelPlan
+
+// Timings breaks down where one packet's synthesis time went (§4.8).
+type Timings = core.Timings
+
+// Timings returns the packet's per-stage synthesis timing breakdown.
+// With Options.Telemetry attached, the same durations also populate the
+// bluefi_core_stage_seconds histograms, so the two views always agree.
+func (p *Packet) Timings() Timings { return p.res.Timings }
 
 // Plan lists the WiFi channels able to carry a Bluetooth frequency,
 // best (farthest from pilots and nulls) first.

@@ -18,6 +18,7 @@ import (
 	"bluefi/internal/core"
 	"bluefi/internal/eval"
 	"bluefi/internal/gfsk"
+	"bluefi/internal/obs"
 )
 
 // benchResult is one row of the JSON snapshot.
@@ -30,11 +31,25 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytesPerOp"`
 }
 
+// stageRow is one per-stage timing entry, sourced from the telemetry
+// registry rather than hand-threaded Timings structs — the two agree by
+// construction (the histograms and Result.Timings share one span
+// measurement), and the registry also counts every search candidate.
+type stageRow struct {
+	Mode    string  `json:"mode"`
+	Packet  string  `json:"packet"`
+	Stage   string  `json:"stage"`
+	Count   int64   `json:"count"`
+	MeanNs  float64 `json:"meanNs"`
+	TotalNs float64 `json:"totalNs"`
+}
+
 type benchSnapshot struct {
 	Generated string        `json:"generated"`
 	GoVersion string        `json:"goVersion"`
 	NumCPU    int           `json:"numCPU"`
 	Results   []benchResult `json:"results"`
+	Stages    []stageRow    `json:"stageBreakdown"`
 }
 
 func record(out *benchSnapshot, name string, fn func(b *testing.B)) {
@@ -174,6 +189,67 @@ func poolBeaconBench() func(b *testing.B) {
 	}
 }
 
+// stageBreakdown runs the §4.8 timing scenario with a telemetry registry
+// attached and reads the per-stage breakdown back out of the
+// bluefi_core_stage_seconds histograms.
+func stageBreakdown(iterations int) ([]stageRow, error) {
+	var rows []stageRow
+	for _, mode := range []core.Mode{core.Quality, core.RealTime} {
+		for _, pc := range []struct {
+			name       string
+			pt         bt.PacketType
+			payloadLen int
+		}{
+			{"1-slot (DM1)", bt.DM1, 17},
+			{"5-slot (DM5)", bt.DM5, 224},
+		} {
+			reg := obs.NewRegistry()
+			opts := core.DefaultOptions()
+			opts.Mode = mode
+			opts.GFSK = gfsk.BRConfig()
+			opts.PSDUOnly = true
+			opts.DynamicScale = false
+			opts.Telemetry = reg
+			s, err := core.New(opts)
+			if err != nil {
+				return nil, err
+			}
+			pkt := &bt.Packet{Type: pc.pt, LTAddr: 1, Payload: make([]byte, pc.payloadLen)}
+			for i := 0; i < iterations; i++ {
+				pkt.Clock = uint32(4 * i)
+				air, err := pkt.AirBits(bt.Device{LAP: 0x123456, UAP: 0x9A})
+				if err != nil {
+					return nil, err
+				}
+				if _, err := s.Synthesize(air, 2426); err != nil {
+					return nil, err
+				}
+			}
+			for _, fam := range reg.Snapshot().Families {
+				if fam.Name != "bluefi_core_stage_seconds" {
+					continue
+				}
+				for _, m := range fam.Metrics {
+					for _, l := range m.Labels {
+						if l.Key != "stage" || m.Count == 0 {
+							continue
+						}
+						rows = append(rows, stageRow{
+							Mode:    mode.String(),
+							Packet:  pc.name,
+							Stage:   l.Value,
+							Count:   m.Count,
+							MeanNs:  m.Sum * 1e9 / float64(m.Count),
+							TotalNs: m.Sum * 1e9,
+						})
+					}
+				}
+			}
+		}
+	}
+	return rows, nil
+}
+
 // runBenchJSON executes the suite at GOMAXPROCS 1 and 4 (the -cpu 1,4
 // comparison: serial baseline versus the concurrency layer) and writes
 // the snapshot.
@@ -201,6 +277,16 @@ func runBenchJSON(path string) error {
 		record(snap, "fig9/parallel"+tag, fig9Bench(4))
 		record(snap, "fig10/audio"+tag, fig10Bench())
 		record(snap, "pool/beacon-batch"+tag, poolBeaconBench())
+	}
+
+	rows, err := stageBreakdown(10)
+	if err != nil {
+		return err
+	}
+	snap.Stages = rows
+	fmt.Printf("stage breakdown (telemetry-sourced, 10 iterations):\n")
+	for _, r := range rows {
+		fmt.Printf("  %-10s %-14s %-9s %12.0f ns mean (n=%d)\n", r.Mode, r.Packet, r.Stage, r.MeanNs, r.Count)
 	}
 
 	data, err := json.MarshalIndent(snap, "", "\t")

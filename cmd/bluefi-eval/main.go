@@ -6,6 +6,8 @@
 //	bluefi-eval -fig all
 //	bluefi-eval -fig 9 -n 40
 //	bluefi-eval -bench-json            # BENCH_eval.json regression snapshot
+//	bluefi-eval -serve :8399           # live /metrics over a synthesis workload
+//	bluefi-eval -obs-overhead          # telemetry overhead gate (CI)
 package main
 
 import (
@@ -23,8 +25,25 @@ func main() {
 	n := flag.Int("n", 0, "override per-point sample count (0 = default)")
 	benchJSON := flag.Bool("bench-json", false, "run the benchmark suite and write a BENCH_*.json snapshot instead of figures")
 	benchOut := flag.String("bench-out", "BENCH_eval.json", "output path for -bench-json")
+	serve := flag.String("serve", "", "serve /metrics, /metrics.json and /traces on this address (e.g. :8399) over a continuous synthesis workload, instead of figures")
+	serveWorkers := flag.Int("serve-workers", 2, "pool workers for the -serve workload")
+	obsOverhead := flag.Bool("obs-overhead", false, "measure telemetry overhead on BenchmarkSynthesize and fail if attached/disabled ns/op exceeds 1.05")
 	flag.Parse()
 
+	if *serve != "" {
+		if err := runServe(*serve, *serveWorkers); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *obsOverhead {
+		if err := runObsOverhead(); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: obs-overhead: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *benchJSON {
 		if err := runBenchJSON(*benchOut); err != nil {
 			fmt.Fprintf(os.Stderr, "bluefi-eval: bench-json: %v\n", err)

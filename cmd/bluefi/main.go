@@ -55,6 +55,19 @@ func chipFlag(fs *flag.FlagSet) *string {
 	return fs.String("chip", "ar9331", "target chip: ar9331, rtl8811au, generic")
 }
 
+func telemetryFlag(fs *flag.FlagSet) *bool {
+	return fs.Bool("telemetry", false, "dump a JSON telemetry snapshot (stage latencies, FEC counters) to stderr after synthesis")
+}
+
+// dumpTelemetry writes the registry snapshot to stderr so the PSDU on
+// stdout stays pipeable.
+func dumpTelemetry(reg *bluefi.Telemetry) error {
+	if reg == nil {
+		return nil
+	}
+	return reg.WriteJSON(os.Stderr)
+}
+
 func parseChip(name string) (bluefi.ChipModel, error) {
 	switch strings.ToLower(name) {
 	case "ar9331":
@@ -95,6 +108,7 @@ func beaconCmd(args []string) error {
 	power := fs.Int("power", -59, "iBeacon measured power at 1 m (dBm)")
 	urlStr := fs.String("eddystone-url", "", "Eddystone URL (https://... )")
 	adHex := fs.String("ad", "", "raw AD structures (hex, overrides other payload flags)")
+	tele := telemetryFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -138,7 +152,11 @@ func beaconCmd(args []string) error {
 		ad = b.ADStructures()
 	}
 
-	syn, err := bluefi.New(bluefi.Options{Chip: cm, WiFiChannel: *wifiCh})
+	var reg *bluefi.Telemetry
+	if *tele {
+		reg = bluefi.NewTelemetry()
+	}
+	syn, err := bluefi.New(bluefi.Options{Chip: cm, WiFiChannel: *wifiCh, Telemetry: reg})
 	if err != nil {
 		return err
 	}
@@ -147,7 +165,7 @@ func beaconCmd(args []string) error {
 		return err
 	}
 	printPacket(pkt)
-	return nil
+	return dumpTelemetry(reg)
 }
 
 func splitURL(u string) (byte, string, error) {
@@ -175,6 +193,7 @@ func brCmd(args []string) error {
 	uap := fs.Uint("uap", 0x9A, "device UAP (8 bits)")
 	clock := fs.Uint("clock", 0, "Bluetooth clock at transmission (whitening)")
 	realtime := fs.Bool("realtime", true, "use the O(T) real-time FEC inverter")
+	tele := telemetryFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -198,7 +217,11 @@ func brCmd(args []string) error {
 	if *realtime {
 		mode = bluefi.RealTime
 	}
-	syn, err := bluefi.New(bluefi.Options{Chip: cm, WiFiChannel: *wifiCh, Mode: mode})
+	var reg *bluefi.Telemetry
+	if *tele {
+		reg = bluefi.NewTelemetry()
+	}
+	syn, err := bluefi.New(bluefi.Options{Chip: cm, WiFiChannel: *wifiCh, Mode: mode, Telemetry: reg})
 	if err != nil {
 		return err
 	}
@@ -211,7 +234,7 @@ func brCmd(args []string) error {
 		return err
 	}
 	printPacket(pkt)
-	return nil
+	return dumpTelemetry(reg)
 }
 
 func planCmd(args []string) error {

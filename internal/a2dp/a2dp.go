@@ -13,6 +13,7 @@ import (
 
 	"bluefi/internal/bt"
 	"bluefi/internal/l2cap"
+	"bluefi/internal/obs"
 	"bluefi/internal/sbc"
 )
 
@@ -94,6 +95,47 @@ type StreamConfig struct {
 	BestChannels []int
 	// MediaCID is the L2CAP channel of the AVDTP stream.
 	MediaCID uint16
+	// Telemetry, when non-nil, receives scheduler counters: slots
+	// allocated, hop decisions skipped outside the best-channel set, and
+	// rehearsal-gated reslots.
+	Telemetry *obs.Registry
+}
+
+// schedMetrics holds the scheduler's telemetry handles; nil disables
+// them at one branch per record.
+type schedMetrics struct {
+	slots   *obs.Counter
+	skipped *obs.Counter
+	reslots *obs.Counter
+}
+
+func newSchedMetrics(r *obs.Registry) *schedMetrics {
+	if r == nil {
+		return nil
+	}
+	return &schedMetrics{
+		slots: r.Counter("bluefi_a2dp_slots_total",
+			"master-TX slots allocated to audio packets"),
+		skipped: r.Counter("bluefi_a2dp_slots_skipped_total",
+			"master-TX slots passed over because the hop landed outside the best-channel set"),
+		reslots: r.Counter("bluefi_a2dp_reslots_total",
+			"rehearsal-gated slot reallocations"),
+	}
+}
+
+func (m *schedMetrics) observeSlot(skipped int) {
+	if m == nil {
+		return
+	}
+	m.slots.Inc()
+	m.skipped.Add(int64(skipped))
+}
+
+func (m *schedMetrics) observeReslot() {
+	if m == nil {
+		return
+	}
+	m.reslots.Inc()
 }
 
 // Scheduler allocates time slots for audio packets along the AFH-mapped
@@ -109,6 +151,7 @@ type Scheduler struct {
 	afh  *bt.AFHMap
 	best map[int]bool
 	ssrc uint32
+	met  *schedMetrics
 
 	clk     bt.Clock // guarded by mu
 	seq     uint16   // guarded by mu
@@ -156,6 +199,7 @@ func NewScheduler(cfg StreamConfig) (*Scheduler, error) {
 		afh:  afh,
 		best: best,
 		ssrc: 0xB10EF1,
+		met:  newSchedMetrics(cfg.Telemetry),
 	}, nil
 }
 
@@ -187,6 +231,7 @@ func (s *Scheduler) nextSlotLocked() (bt.Clock, int, int) {
 		}
 		ch := s.afh.Remap(s.hop.Channel(s.clk))
 		if len(s.best) == 0 || s.best[ch] {
+			s.met.observeSlot(skipped)
 			return s.clk, ch, skipped
 		}
 		skipped++
@@ -258,6 +303,7 @@ func (s *Scheduler) ScheduleMedia(frames [][]byte, timestampTicks uint32) ([]*Sc
 func (s *Scheduler) Reslot(sp *ScheduledPacket) *ScheduledPacket {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.met.observeReslot()
 	clk, ch, skipped := s.nextSlotLocked()
 	pkt := *sp.Packet
 	pkt.Clock = uint32(clk)

@@ -20,9 +20,16 @@
 //     Explicitly seeded generators — rand.New(rand.NewSource(seed)) —
 //     are the sanctioned way to simulate noise and pass untouched.
 //
-// Legitimate exceptions (wall-clock stage timing, report timestamps)
-// carry a `//bluefi:nondeterministic-ok <reason>` comment on or above
-// the offending line; the reason is mandatory.
+// One package is exempt outright: internal/obs, the telemetry layer, IS
+// the repo's measurement boundary. Spans read the wall clock by design,
+// and every sanctioned timing probe of the strict packages lives behind
+// obs.StartSpan rather than a local time.Now — so strict packages stay
+// clock-free without per-line suppressions, and the clock reads
+// concentrate where they are the point.
+//
+// Legitimate exceptions elsewhere (report timestamps, benchmark
+// provenance) carry a `//bluefi:nondeterministic-ok <reason>` comment on
+// or above the offending line; the reason is mandatory.
 package determinism
 
 import (
@@ -45,11 +52,19 @@ var Analyzer = &framework.Analyzer{
 // same treatment.
 var strictPkgRe = regexp.MustCompile(`(^|/)internal/(core|wifi|dsp|gfsk|bits|viterbi)$`)
 
+// obsPkgRe matches the telemetry package, which is exempt from the
+// wall-clock diagnostics entirely: timing is its purpose (see the
+// package doc above).
+var obsPkgRe = regexp.MustCompile(`(^|/)internal/obs$`)
+
 // seededConstructors are the math/rand package-level functions that do
 // not touch the global source.
 var seededConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true}
 
 func run(pass *framework.Pass) error {
+	if obsPkgRe.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
 	strict := strictPkgRe.MatchString(pass.Pkg.Path())
 	for _, f := range pass.Files {
 		if strict {

@@ -7,11 +7,13 @@ import (
 	"bluefi/internal/analysis/determinism"
 )
 
-// TestDeterminism covers both tiers: the strict fixture's import path
-// ends in internal/core, the lax fixture simulates noise. Every
-// diagnostic message and both suppression paths (reasoned, reasonless)
-// have expectations in the fixtures.
+// TestDeterminism covers both tiers plus the telemetry exemption: the
+// strict fixture's import path ends in internal/core, the lax fixture
+// simulates noise, and the internal/obs fixture reads the clock freely
+// without any suppressions. Every diagnostic message and both
+// suppression paths (reasoned, reasonless) have expectations in the
+// fixtures.
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
-		"bluefi/internal/core", "sim/noise")
+		"bluefi/internal/core", "sim/noise", "bluefi/internal/obs")
 }

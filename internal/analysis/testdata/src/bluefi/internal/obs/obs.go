@@ -1,0 +1,13 @@
+// Telemetry-package fixture: the import path ends in internal/obs, the
+// one package the determinism analyzer exempts outright — spans exist
+// to read the wall clock, so none of these lines diagnose and none need
+// a //bluefi:nondeterministic-ok suppression.
+package obs
+
+import "time"
+
+func spanStart() time.Time { return time.Now() }
+
+func spanEnd(start time.Time) time.Duration { return time.Since(start) }
+
+func deadlineSlack(deadline time.Time) time.Duration { return time.Until(deadline) }

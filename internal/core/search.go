@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
@@ -83,11 +84,12 @@ type searchCandidate struct {
 // bit for bit. The only divergence is wasted work: the serial loop stops
 // mid-group at a comfortably-clean candidate, the parallel one finishes
 // evaluating the group it already started.
-func (s *Synthesizer) searchParallel(basebandPhase []float64, btMHz float64) (*Result, error) {
+func (s *Synthesizer) searchParallel(ctx context.Context, basebandPhase []float64, btMHz float64) (*Result, error) {
 	if err := s.ensureWorkers(s.searchParallelism()); err != nil {
 		return nil, err
 	}
 	var best *Result
+	var searched Timings // all candidates' stage time, reported on the winner
 	bestMis, bestMargin := int(^uint(0)>>1), math.Inf(-1)
 	for _, extraLead := range searchLeads {
 		group := make([]searchCandidate, len(searchRotations))
@@ -98,7 +100,7 @@ func (s *Synthesizer) searchParallel(basebandPhase []float64, btMHz float64) (*R
 				defer wg.Done()
 				w := <-s.workerCh
 				defer func() { s.workerCh <- w }()
-				res, err := w.synthesizeShifted(basebandPhase, btMHz, rot, extraLead)
+				res, err := w.synthesizeShifted(ctx, basebandPhase, btMHz, rot, extraLead)
 				if err != nil {
 					group[i].err = err
 					return
@@ -110,6 +112,11 @@ func (s *Synthesizer) searchParallel(basebandPhase []float64, btMHz float64) (*R
 		}
 		wg.Wait()
 		for _, c := range group {
+			if c.res != nil {
+				searched.add(c.res.Timings)
+			}
+		}
+		for _, c := range group {
 			if c.err != nil {
 				return nil, c.err
 			}
@@ -117,6 +124,7 @@ func (s *Synthesizer) searchParallel(basebandPhase []float64, btMHz float64) (*R
 				best, bestMis, bestMargin = c.res, c.mis, c.margin
 			}
 			if c.mis == 0 && c.margin > searchCleanMargin {
+				best.Timings = searched
 				return best, nil // comfortably clean
 			}
 		}
@@ -124,5 +132,6 @@ func (s *Synthesizer) searchParallel(basebandPhase []float64, btMHz float64) (*R
 			break
 		}
 	}
+	best.Timings = searched
 	return best, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"bluefi/internal/btrx"
 	"bluefi/internal/dsp"
 	"bluefi/internal/gfsk"
+	"bluefi/internal/obs"
 	"bluefi/internal/viterbi"
 	"bluefi/internal/wifi"
 )
@@ -126,6 +128,12 @@ type Options struct {
 	// PSDU; this option makes the §4.8 timing comparison apples-to-apples
 	// and is what a driver integration wants on the hot path.
 	PSDUOnly bool
+	// Telemetry, when non-nil, receives per-stage latency histograms,
+	// synthesis spans and rehearsal counters (see internal/obs). The
+	// instrumentation records timing and counts only — it never feeds the
+	// synthesized bits — and a nil registry costs one branch per record.
+	// Worker clones of the parallel phase search share the registry.
+	Telemetry *obs.Registry
 	// CPPrecompensation likewise subtracts the CP-design construction's
 	// own in-band phase error (θ̂ vs θ through the nominal channel
 	// filter) from the target. The CP corruption is structural and fully
@@ -166,6 +174,17 @@ type Timings struct {
 // Total sums the per-stage timings.
 func (t Timings) Total() time.Duration { return t.IQGen + t.FFTQAM + t.FEC + t.Scramble }
 
+// add accumulates another pass's stage timings. The PhaseSearch paths
+// use it so a searched Result reports the time of every candidate it
+// evaluated, keeping Timings consistent with the per-candidate stage
+// histograms.
+func (t *Timings) add(o Timings) {
+	t.IQGen += o.IQGen
+	t.FFTQAM += o.FFTQAM
+	t.FEC += o.FEC
+	t.Scramble += o.Scramble
+}
+
 // Result is the outcome of synthesizing one Bluetooth packet.
 type Result struct {
 	// PSDU is the byte string to hand to the WiFi chip.
@@ -202,7 +221,10 @@ type Result struct {
 	// a clean link — callers with scheduling freedom (the audio path) can
 	// re-slot instead of transmitting a known-bad frame.
 	RehearsalMismatches int
-	// Timings records the per-stage execution time.
+	// Timings records the per-stage execution time. With PhaseSearch it
+	// covers every candidate the search evaluated — where the packet's
+	// synthesis time actually went — matching the per-candidate
+	// bluefi_core_stage_seconds histograms by construction.
 	Timings Timings
 }
 
@@ -240,6 +262,14 @@ type Synthesizer struct {
 	// pilotIBCache memoizes the in-band pilot waveform per (nsym,
 	// offset): it is data-independent, so audio streams reuse it.
 	pilotIBCache map[pilotKey][]complex128
+
+	// Telemetry: met/vmet are nil when Options.Telemetry is nil (every
+	// observe method then no-ops); obsCtx is the span root carrying the
+	// registry, precomputed so the hot path allocates no context when
+	// telemetry is disabled.
+	met    *coreMetrics
+	vmet   *viterbi.Metrics
+	obsCtx context.Context
 }
 
 type pilotKey struct {
@@ -308,6 +338,9 @@ func New(opts Options) (*Synthesizer, error) {
 	s.fitX = make([]complex128, wifi.FFTSize)
 	s.fitInter[0] = make([]byte, 0, mcs.NCBPS)
 	s.fitInter[1] = make([]byte, 0, mcs.NCBPS)
+	s.met = newCoreMetrics(opts.Telemetry, opts.Mode)
+	s.vmet = viterbi.NewMetrics(opts.Telemetry)
+	s.obsCtx = obs.WithRegistry(context.Background(), opts.Telemetry)
 	return s, nil
 }
 
@@ -460,7 +493,7 @@ func (s *Synthesizer) invert(coded []byte, weights []float64, nsym int) ([]byte,
 
 	if s.opts.Mode == RealTime {
 		res, err := viterbi.RealTimeInvertWeighted(coded,
-			viterbi.RTWeights{W: weights, ImportantMin: WeightImportant}, prefix, suffix)
+			viterbi.RTWeights{W: weights, ImportantMin: WeightImportant, Obs: s.vmet}, prefix, suffix)
 		if err != nil {
 			return nil, err
 		}
@@ -480,7 +513,7 @@ func (s *Synthesizer) invert(coded []byte, weights []float64, nsym int) ([]byte,
 			mw[i] = 0
 		}
 	}
-	return viterbi.Decode(viterbi.Input{Bits: mother, Weight: mw, PinnedPrefix: prefix, PinnedSuffix: suffix})
+	return viterbi.Decode(viterbi.Input{Bits: mother, Weight: mw, PinnedPrefix: prefix, PinnedSuffix: suffix, Obs: s.vmet})
 }
 
 // synthPass holds one open-loop synthesis result.
@@ -495,28 +528,36 @@ type synthPass struct {
 }
 
 // synthOnce runs the open-loop pipeline of §2.3–2.8 for a target phase.
-func (s *Synthesizer) synthOnce(target []float64, nsym int, offsetHz float64) (*synthPass, error) {
-	t0 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
+// The three pipeline stages are timed through obs spans — the measured
+// durations fill synthPass.timings (and so Result.Timings) whether or
+// not a registry is attached; with one, the same durations land in the
+// bluefi_core_stage_seconds histograms, keeping the two views in exact
+// agreement.
+func (s *Synthesizer) synthOnce(ctx context.Context, target []float64, nsym int, offsetHz float64) (*synthPass, error) {
+	_, spIQ := obs.StartSpan(ctx, "core.iqgen")
 	design := DesignCP
 	if s.opts.BlendCP {
 		design = DesignCPBlend
 	}
 	thetaHat, err := design(target, wifi.ShortGI)
+	dIQGen := spIQ.End()
 	if err != nil {
 		return nil, err
 	}
-	t1 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
+	_, spFFT := obs.StartSpan(ctx, "core.fftqam")
 	coded, err := s.fitSymbols(thetaHat, nsym, offsetHz)
+	dFFTQAM := spFFT.End()
 	if err != nil {
 		return nil, err
 	}
-	t2 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
+	_, spFEC := obs.StartSpan(ctx, "fec.invert", obs.L("mode", s.opts.Mode.String()))
 	weights := CodedBitWeights(s.il, s.mcs.Modulation, offsetHz, nsym)
 	data, err := s.invert(coded, weights, nsym)
+	dFEC := spFEC.End()
 	if err != nil {
 		return nil, err
 	}
-	t3 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
+	s.met.observePass(dIQGen, dFFTQAM, dFEC)
 
 	reCoded := wifi.EncodeRate(data, s.mcs.Rate)
 	p := &synthPass{data: data, coded: coded}
@@ -538,7 +579,7 @@ func (s *Synthesizer) synthOnce(target []float64, nsym int, offsetHz float64) (*
 			return nil, err
 		}
 	}
-	p.timings = Timings{IQGen: t1.Sub(t0), FFTQAM: t2.Sub(t1), FEC: t3.Sub(t2)}
+	p.timings = Timings{IQGen: dIQGen, FFTQAM: dFFTQAM, FEC: dFEC}
 	return p, nil
 }
 
@@ -797,8 +838,20 @@ func (s *Synthesizer) SynthesizePhase(basebandPhase []float64, btMHz float64) (*
 	if len(basebandPhase) == 0 {
 		return nil, fmt.Errorf("core: empty phase trajectory")
 	}
+	ctx, sp := obs.StartSpan(s.obsCtx, "core.synth", obs.L("mode", s.opts.Mode.String()))
+	res, err := s.synthesizePhase(ctx, basebandPhase, btMHz)
+	d := sp.End()
+	if err == nil {
+		s.met.observeSynth(d, res.RehearsalMismatches)
+	}
+	return res, err
+}
+
+// synthesizePhase is SynthesizePhase behind the telemetry span; ctx
+// carries the registry and the enclosing span for stage spans.
+func (s *Synthesizer) synthesizePhase(ctx context.Context, basebandPhase []float64, btMHz float64) (*Result, error) {
 	if !s.opts.PhaseSearch || s.opts.PSDUOnly {
-		res, err := s.synthesizeRotated(basebandPhase, btMHz, 0)
+		res, err := s.synthesizeShifted(ctx, basebandPhase, btMHz, 0, 0)
 		if err == nil {
 			res.RehearsalMismatches = -1
 		}
@@ -817,22 +870,25 @@ func (s *Synthesizer) SynthesizePhase(basebandPhase []float64, btMHz float64) (*
 	// every lcm(20, 72) samples). Extra leads are only tried when the
 	// plain rotations still rehearse dirty.
 	if s.searchParallelism() > 1 {
-		return s.searchParallel(basebandPhase, btMHz)
+		return s.searchParallel(ctx, basebandPhase, btMHz)
 	}
 	var best *Result
+	var searched Timings // all candidates' stage time, reported on the winner
 	bestMis, bestMargin := int(^uint(0)>>1), math.Inf(-1)
 	for _, extraLead := range searchLeads {
 		for _, rot := range searchRotations {
-			res, err := s.synthesizeShifted(basebandPhase, btMHz, rot, extraLead)
+			res, err := s.synthesizeShifted(ctx, basebandPhase, btMHz, rot, extraLead)
 			if err != nil {
 				return nil, err
 			}
+			searched.add(res.Timings)
 			mis, margin := s.rehearse(res, len(basebandPhase))
 			res.RehearsalMismatches = mis
 			if best == nil || mis < bestMis || (mis == bestMis && margin > bestMargin) {
 				best, bestMis, bestMargin = res, mis, margin
 			}
 			if mis == 0 && margin > searchCleanMargin {
+				best.Timings = searched
 				return best, nil // comfortably clean
 			}
 		}
@@ -840,6 +896,7 @@ func (s *Synthesizer) SynthesizePhase(basebandPhase []float64, btMHz float64) (*
 			break
 		}
 	}
+	best.Timings = searched
 	return best, nil
 }
 
@@ -849,6 +906,7 @@ func (s *Synthesizer) SynthesizePhase(basebandPhase []float64, btMHz float64) (*
 // rehearsal, cf. Recitation [39]. It returns the number of mismatched
 // decisions and the worst agreeing decision margin (normalized).
 func (s *Synthesizer) rehearse(res *Result, pktLen int) (mismatches int, minMargin float64) {
+	s.met.observeCandidate()
 	if res.Waveform == nil {
 		return 0, 0
 	}
@@ -903,13 +961,9 @@ func (s *Synthesizer) rehearse(res *Result, pktLen int) (mismatches int, minMarg
 	return mismatches, minMargin
 }
 
-// synthesizeRotated runs the pipeline once with an extra global rotation.
-func (s *Synthesizer) synthesizeRotated(basebandPhase []float64, btMHz float64, rot float64) (*Result, error) {
-	return s.synthesizeShifted(basebandPhase, btMHz, rot, 0)
-}
-
-// synthesizeShifted additionally pads the lead by extraLead symbols.
-func (s *Synthesizer) synthesizeShifted(basebandPhase []float64, btMHz float64, rot float64, extraLead int) (*Result, error) {
+// synthesizeShifted runs the pipeline once with an extra global rotation
+// and the lead padded by extraLead symbols.
+func (s *Synthesizer) synthesizeShifted(ctx context.Context, basebandPhase []float64, btMHz float64, rot float64, extraLead int) (*Result, error) {
 	plan, err := PlanForChannel(btMHz, s.opts.WiFiChannel)
 	if err != nil {
 		return nil, err
@@ -918,7 +972,6 @@ func (s *Synthesizer) synthesizeShifted(basebandPhase []float64, btMHz float64, 
 	s.extraLead = extraLead
 	defer func() { s.extraPhase = 0; s.extraLead = 0 }()
 
-	t0 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
 	s.lastOffsetHz = plan.OffsetHz
 	theta, lead, nsym := s.layoutPhase(basebandPhase, plan.OffsetHz)
 	iterations := s.opts.PredistortIterations
@@ -941,7 +994,7 @@ func (s *Synthesizer) synthesizeShifted(basebandPhase []float64, btMHz float64, 
 	var pass *synthPass
 	var timings Timings
 	for it := 0; ; it++ {
-		pass, err = s.synthOnce(target, nsym, plan.OffsetHz)
+		pass, err = s.synthOnce(ctx, target, nsym, plan.OffsetHz)
 		if err != nil {
 			return nil, err
 		}
@@ -957,16 +1010,18 @@ func (s *Synthesizer) synthesizeShifted(basebandPhase []float64, btMHz float64, 
 			return nil, err
 		}
 	}
-	t1 := time.Now() //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
 
 	// Descramble and pack the PSDU.
+	_, spScr := obs.StartSpan(ctx, "core.scramble")
 	psduLen, _ := s.frameLayout(nsym)
 	descrambled := wifi.ScrambleCopy(pass.data, s.opts.ScramblerSeed)
 	psdu, err := bits.PackLSB(descrambled[wifi.ServiceBits : wifi.ServiceBits+8*psduLen])
+	dScramble := spScr.End()
 	if err != nil {
 		return nil, err
 	}
-	timings.Scramble += time.Since(t1) //bluefi:nondeterministic-ok stage timing for Result.Timings; never feeds the synthesized bits
+	timings.Scramble += dScramble
+	s.met.observeScramble(dScramble)
 
 	// Predicted waveform: what the chip will emit for this PSDU
 	// (including the preamble when configured).
@@ -977,9 +1032,6 @@ func (s *Synthesizer) synthesizeShifted(basebandPhase []float64, btMHz float64, 
 			return nil, err
 		}
 	}
-	// IQGen already includes the phase construction timed inside
-	// synthOnce; t0 anchors nothing further once the loop owns timing.
-	_ = t0
 	coded := pass.coded
 
 	res := &Result{

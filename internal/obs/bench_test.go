@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+// Span and record-site costs back DESIGN.md §8's overhead budget: the
+// disabled path must be branch-cheap, the enabled path must keep the
+// attached/disabled ratio of real synthesis under 5%.
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench.span")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanRoot(b *testing.B) {
+	ctx := WithRegistry(context.Background(), NewRegistry())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench.span")
+		sp.End()
+	}
+}
+
+func BenchmarkSpanNested(b *testing.B) {
+	ctx := WithRegistry(context.Background(), NewRegistry())
+	ctx, root := StartSpan(ctx, "bench.root")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, sp := StartSpan(ctx, "bench.stage")
+		sp.End()
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bluefi_bench_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bluefi_bench_seconds", "bench", ExpBuckets(1e-5, 3, 12))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-3)
+	}
+}
+
+func BenchmarkNilHistogramObserve(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-3)
+	}
+}

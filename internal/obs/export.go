@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot is a consistent, deterministic copy of every exported metric:
+// families sorted by name, series sorted by label signature, histogram
+// buckets cumulative. It is the JSON export and the input to the
+// Prometheus text writer, so both formats always agree.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one metric family (a name, its kind, its series).
+type FamilySnapshot struct {
+	Name    string           `json:"name"`
+	Help    string           `json:"help,omitempty"`
+	Kind    string           `json:"kind"`
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+// MetricSnapshot is one series. Value serves counters and gauges;
+// Buckets/Count/Sum serve histograms (Buckets holds cumulative counts at
+// each finite bound; the +Inf count equals Count).
+type MetricSnapshot struct {
+	Labels  []Label          `json:"labels,omitempty"`
+	Value   int64            `json:"value"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+	Count   int64            `json:"count,omitempty"`
+	Sum     float64          `json:"sum,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket at a finite bound.
+type BucketSnapshot struct {
+	UpperBound float64 `json:"le"`
+	Count      int64   `json:"count"`
+}
+
+// Snapshot captures the registry. Nil registries snapshot empty.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fam := r.families[name]
+		fs := FamilySnapshot{Name: fam.name, Help: fam.help, Kind: fam.kind}
+		sigs := make([]string, 0, len(fam.metrics))
+		for sig := range fam.metrics {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			m := fam.metrics[sig]
+			ms := MetricSnapshot{Labels: m.labels}
+			if fam.kind == KindHistogram {
+				var cum int64
+				for i, b := range fam.bounds {
+					cum += m.counts[i].Load()
+					ms.Buckets = append(ms.Buckets, BucketSnapshot{UpperBound: b, Count: cum})
+				}
+				ms.Count = m.count.Load()
+				// Individual observations are finite, but their sum can
+				// still overflow; clamp so the JSON encoder (which
+				// rejects ±Inf) never fails on a snapshot.
+				ms.Sum = m.sum.load()
+				if math.IsInf(ms.Sum, 1) {
+					ms.Sum = math.MaxFloat64
+				} else if math.IsInf(ms.Sum, -1) {
+					ms.Sum = -math.MaxFloat64
+				}
+			} else {
+				ms.Value = m.value.Load()
+			}
+			fs.Metrics = append(fs.Metrics, ms)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON (the expvar-style
+// export).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return WritePrometheus(w, r.Snapshot())
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text format. The
+// output is well-formed for any snapshot a Registry can produce: names
+// and label keys were sanitized at registration, values are rendered
+// with strconv, and help/label values are escaped here.
+func WritePrometheus(w io.Writer, snap Snapshot) error {
+	var b strings.Builder
+	for _, fam := range snap.Families {
+		if fam.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(fam.Name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(fam.Help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(fam.Name)
+		b.WriteByte(' ')
+		b.WriteString(fam.Kind)
+		b.WriteByte('\n')
+		for _, m := range fam.Metrics {
+			switch fam.Kind {
+			case KindHistogram:
+				for _, bk := range m.Buckets {
+					writeSample(&b, fam.Name+"_bucket", m.Labels, Label{Key: "le", Value: formatFloat(bk.UpperBound)}, float64(bk.Count))
+				}
+				writeSample(&b, fam.Name+"_bucket", m.Labels, Label{Key: "le", Value: "+Inf"}, float64(m.Count))
+				writeSample(&b, fam.Name+"_sum", m.Labels, Label{}, m.Sum)
+				writeSample(&b, fam.Name+"_count", m.Labels, Label{}, float64(m.Count))
+			default:
+				writeSample(&b, fam.Name, m.Labels, Label{}, float64(m.Value))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample renders one `name{labels} value` line. extra, when its key
+// is nonempty, is appended after the series labels (the histogram `le`).
+func writeSample(b *strings.Builder, name string, labels []Label, extra Label, value float64) {
+	b.WriteString(name)
+	if len(labels) > 0 || extra.Key != "" {
+		b.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabelValue(l.Value))
+			b.WriteByte('"')
+		}
+		if extra.Key != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(extra.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabelValue(extra.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(value))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func buildSampleRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("bluefi_pool_jobs_total", "jobs executed", L("kind", "synth")).Add(12)
+	r.Counter("bluefi_pool_jobs_total", "jobs executed", L("kind", "beacon")).Add(3)
+	r.Gauge("bluefi_pool_queue_depth", "pending jobs").Set(2)
+	h := r.Histogram("bluefi_core_stage_seconds", "per-stage latency",
+		[]float64{0.001, 0.01, 0.1}, L("stage", "fec"))
+	for _, v := range []float64{0.0005, 0.004, 0.04, 0.4} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// promLineRe matches every legal non-comment line of the text format.
+var promLineRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? [^ \n]+$`)
+
+// validatePrometheus asserts the whole output is structurally valid text
+// format: every line is a comment or matches the sample grammar, at most
+// one TYPE per metric name, TYPE precedes its samples.
+func validatePrometheus(t *testing.T, out string) {
+	t.Helper()
+	typed := map[string]bool{}
+	for ln, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			if typed[parts[2]] {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, parts[2])
+			}
+			switch parts[3] {
+			case KindCounter, KindGauge, KindHistogram:
+			default:
+				t.Fatalf("line %d: bad kind %q", ln+1, parts[3])
+			}
+			typed[parts[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			if len(strings.SplitN(line, " ", 4)) < 4 {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLineRe.MatchString(line) {
+			t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := buildSampleRegistry()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	validatePrometheus(t, out)
+
+	for _, want := range []string{
+		`bluefi_pool_jobs_total{kind="synth"} 12`,
+		`bluefi_pool_jobs_total{kind="beacon"} 3`,
+		`bluefi_pool_queue_depth 2`,
+		`# TYPE bluefi_core_stage_seconds histogram`,
+		`bluefi_core_stage_seconds_bucket{stage="fec",le="0.001"} 1`,
+		`bluefi_core_stage_seconds_bucket{stage="fec",le="0.01"} 2`,
+		`bluefi_core_stage_seconds_bucket{stage="fec",le="0.1"} 3`,
+		`bluefi_core_stage_seconds_bucket{stage="fec",le="+Inf"} 4`,
+		`bluefi_core_stage_seconds_count{stage="fec"} 4`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := buildSampleRegistry()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("JSON export does not parse: %v", err)
+	}
+	if len(snap.Families) != 3 {
+		t.Fatalf("want 3 families, got %d", len(snap.Families))
+	}
+	// Families sorted by name.
+	for i := 1; i < len(snap.Families); i++ {
+		if snap.Families[i-1].Name > snap.Families[i].Name {
+			t.Fatalf("families not sorted: %s > %s", snap.Families[i-1].Name, snap.Families[i].Name)
+		}
+	}
+}
+
+// TestSnapshotDeterministic: two snapshots of the same registry render
+// byte-identically — the property the analyzer-exempted package must
+// still honor for reproducible BENCH output.
+func TestSnapshotDeterministic(t *testing.T) {
+	r := buildSampleRegistry()
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("consecutive exports differ on an idle registry")
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := buildSampleRegistry()
+	ctx := WithRegistry(context.Background(), r)
+	_, sp := StartSpan(ctx, "test.span")
+	sp.End()
+
+	h := r.Handler()
+	get := func(path string) (int, string, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec.Code, rec.Header().Get("Content-Type"), rec.Body.String()
+	}
+
+	code, ct, body := get("/metrics")
+	if code != 200 || !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics: code=%d ct=%q", code, ct)
+	}
+	validatePrometheus(t, body)
+
+	code, ct, body = get("/metrics.json")
+	if code != 200 || !strings.HasPrefix(ct, "application/json") || !json.Valid([]byte(body)) {
+		t.Fatalf("/metrics.json: code=%d ct=%q valid=%v", code, ct, json.Valid([]byte(body)))
+	}
+
+	code, _, body = get("/traces")
+	if code != 200 || !strings.Contains(body, `"test.span"`) {
+		t.Fatalf("/traces: code=%d body=%q", code, body)
+	}
+
+	if code, _, _ = get("/nope"); code != 404 {
+		t.Fatalf("/nope: code=%d, want 404", code)
+	}
+}

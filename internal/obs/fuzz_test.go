@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// FuzzExport drives the registry with fuzz-derived metric names, label
+// sets, kinds, bounds and values, then asserts the exporters hold their
+// contract: never panic, JSON always parses, Prometheus text is always
+// structurally valid with one TYPE per family. This is the satellite
+// guarding constraint 4 of the package doc.
+func FuzzExport(f *testing.F) {
+	f.Add([]byte("seed"))
+	f.Add([]byte{0, 1, 2, 3, 255, 254, 100, 50, 7, 9})
+	f.Add([]byte(`bluefi_total{stage="fec"} NaN +Inf "quoted\n"`))
+
+	typeRe := regexp.MustCompile(`^# TYPE ([^ ]+) `)
+	sampleRe := regexp.MustCompile(
+		`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\\n])*")*\})? [^ \n]+$`)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewRegistry()
+		// Consume the fuzz input as a little program: each step pulls a
+		// few bytes to pick an operation, a name, labels and values.
+		pos := 0
+		next := func() byte {
+			if pos >= len(data) {
+				return 0
+			}
+			b := data[pos]
+			pos++
+			return b
+		}
+		str := func() string {
+			n := int(next()) % 12
+			if pos+n > len(data) {
+				n = len(data) - pos
+			}
+			s := string(data[pos : pos+n])
+			pos += n
+			return s
+		}
+		for step := 0; step < 32 && pos < len(data); step++ {
+			name := str()
+			var labels []Label
+			for i := int(next()) % 3; i > 0; i-- {
+				labels = append(labels, L(str(), str()))
+			}
+			v := int64(next())<<8 | int64(next())
+			switch next() % 4 {
+			case 0:
+				r.Counter(name, str(), labels...).Add(v - 128)
+			case 1:
+				r.Gauge(name, str(), labels...).Set(v - 30000)
+			case 2:
+				bounds := make([]float64, int(next())%5)
+				for i := range bounds {
+					bounds[i] = float64(int(next())-128) / float64(int(next())+1)
+				}
+				h := r.Histogram(name, str(), bounds, labels...)
+				for i := int(next()) % 4; i >= 0; i-- {
+					h.Observe(float64(v-10000) / float64(int(next())+1))
+				}
+				// Hostile samples the exporter must survive.
+				h.Observe(math.Inf(1))
+				h.Observe(math.Inf(-1))
+				h.Observe(math.NaN())
+			case 3:
+				// Same name again under a different kind: must detach,
+				// not corrupt the family.
+				r.Gauge(name, "", labels...).Inc()
+				r.Counter(name, "", labels...).Inc()
+			}
+		}
+
+		var jsonBuf bytes.Buffer
+		if err := r.WriteJSON(&jsonBuf); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if !json.Valid(jsonBuf.Bytes()) {
+			t.Fatalf("JSON export invalid: %s", jsonBuf.String())
+		}
+
+		var promBuf bytes.Buffer
+		if err := r.WritePrometheus(&promBuf); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		typed := map[string]bool{}
+		for _, line := range strings.Split(strings.TrimRight(promBuf.String(), "\n"), "\n") {
+			if line == "" {
+				continue
+			}
+			if m := typeRe.FindStringSubmatch(line); m != nil {
+				if typed[m[1]] {
+					t.Fatalf("duplicate TYPE for %s:\n%s", m[1], promBuf.String())
+				}
+				typed[m[1]] = true
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				continue
+			}
+			if !sampleRe.MatchString(line) {
+				t.Fatalf("malformed sample line %q", line)
+			}
+		}
+	})
+}

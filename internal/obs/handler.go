@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics       Prometheus text exposition format
+//	/metrics.json  JSON snapshot (expvar-style)
+//	/traces        JSON dump of the recent-span ring, oldest first
+//	/              plain-text index of the above
+//
+// Mount it on any mux (cmd/bluefi-eval -serve does). All endpoints are
+// read-only and safe under concurrent recording.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		_ = enc.Encode(struct {
+			Spans []SpanRecord `json:"spans"`
+		}{Spans: r.RecentSpans()})
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("bluefi telemetry\n  /metrics       Prometheus text format\n  /metrics.json  JSON snapshot\n  /traces        recent spans\n"))
+	})
+	return mux
+}

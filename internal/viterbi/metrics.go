@@ -1,0 +1,52 @@
+package viterbi
+
+import "bluefi/internal/obs"
+
+// Metrics holds the decoder's telemetry handles. A nil *Metrics is the
+// disabled state: every observe method no-ops after one branch, so
+// Decode and RealTimeInvertWeighted cost nothing extra when the caller
+// attached no registry.
+type Metrics struct {
+	decodes      *obs.Counter
+	trellisSteps *obs.Counter
+	rtInversions *obs.Counter
+	rtFlips      *obs.Counter
+	rtSteered    *obs.Counter
+}
+
+// NewMetrics registers the viterbi counters on r (nil registry → nil
+// Metrics, disabled).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		decodes: r.Counter("bluefi_viterbi_decodes_total",
+			"full weighted Viterbi decodes (quality mode)"),
+		trellisSteps: r.Counter("bluefi_viterbi_trellis_steps_total",
+			"trellis time steps processed by Decode"),
+		rtInversions: r.Counter("bluefi_viterbi_rt_inversions_total",
+			"O(T) exact-match real-time inversions"),
+		rtFlips: r.Counter("bluefi_viterbi_rt_flips_total",
+			"coded-bit flips emitted by real-time inversion"),
+		rtSteered: r.Counter("bluefi_viterbi_rt_steered_total",
+			"conflict triplets resolved by state steering (fallback from plain exact match)"),
+	}
+}
+
+func (m *Metrics) observeDecode(steps int) {
+	if m == nil {
+		return
+	}
+	m.decodes.Inc()
+	m.trellisSteps.Add(int64(steps))
+}
+
+func (m *Metrics) observeRealTime(flips, steered int) {
+	if m == nil {
+		return
+	}
+	m.rtInversions.Inc()
+	m.rtFlips.Add(int64(flips))
+	m.rtSteered.Add(int64(steered))
+}

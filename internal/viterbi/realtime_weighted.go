@@ -21,6 +21,9 @@ import "fmt"
 type RTWeights struct {
 	W            []float64
 	ImportantMin float64
+	// Obs, when non-nil, receives inversion telemetry (counts only —
+	// never an input to the inversion itself).
+	Obs *Metrics
 }
 
 // RealTimeInvertWeighted recovers input bits whose rate-2/3 encoding
@@ -63,6 +66,7 @@ func RealTimeInvertWeighted(coded []byte, w RTWeights, pinnedPrefix, pinnedSuffi
 
 	res := RealTimeResult{Info: make([]byte, 0, nInfo)}
 	var s uint8
+	steered := 0
 	flip := func(idx int) { res.Flips = append(res.Flips, idx) }
 
 	for t := 0; t < nTrip; t++ {
@@ -100,6 +104,7 @@ func RealTimeInvertWeighted(coded []byte, w RTWeights, pinnedPrefix, pinnedSuffi
 				}
 				want := (coded[3*(t+1)] ^ coded[3*(t+1)+1]) & 1
 				u2 = want ^ u2Prev2
+				steered++
 			}
 		}
 
@@ -119,5 +124,6 @@ func RealTimeInvertWeighted(coded []byte, w RTWeights, pinnedPrefix, pinnedSuffi
 		res.Info = append(res.Info, u1, u2)
 	}
 	res.FinalState = s
+	w.Obs.observeRealTime(len(res.Flips), steered)
 	return res, nil
 }

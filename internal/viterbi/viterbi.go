@@ -70,6 +70,9 @@ type Input struct {
 	// convolutional tail (six zeros) optionally followed by pad bits
 	// pinned to the scrambler sequence.
 	PinnedSuffix []byte
+	// Obs, when non-nil, receives decode telemetry (counts only — never
+	// an input to the decode itself).
+	Obs *Metrics
 }
 
 // PinnedSuffixZeros returns a suffix of n zero bits, the common tail case.
@@ -168,6 +171,7 @@ func Decode(in Input) ([]byte, error) {
 		info[t] = s & 1
 		s = survivors[t][s]
 	}
+	in.Obs.observeDecode(n)
 	return info, nil
 }
 

@@ -1,9 +1,12 @@
 package bluefi
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+
+	"bluefi/internal/obs"
 )
 
 // Pool is a fleet of Synthesizers behind a work queue — the concurrent
@@ -24,6 +27,69 @@ type Pool struct {
 	mu     sync.Mutex
 	closed bool // guarded by mu
 	wg     sync.WaitGroup
+
+	// met is nil without Options.Telemetry; obsCtx carries the registry
+	// for per-job spans.
+	met    *poolMetrics
+	obsCtx context.Context
+}
+
+// poolMetrics holds the pool's telemetry handles; nil disables them at
+// one branch per record. Worker utilization is derivable by a scraper as
+// sum(bluefi_pool_job_seconds) / (bluefi_pool_workers × uptime); the
+// jobs-in-flight gauge gives the instantaneous view.
+type poolMetrics struct {
+	workers  *obs.Gauge
+	queue    *obs.Gauge
+	inflight *obs.Gauge
+	jobs     *obs.Counter
+	jobSecs  *obs.Histogram
+}
+
+func newPoolMetrics(r *obs.Registry) *poolMetrics {
+	if r == nil {
+		return nil
+	}
+	return &poolMetrics{
+		workers:  r.Gauge("bluefi_pool_workers", "synthesizer workers in the pool"),
+		queue:    r.Gauge("bluefi_pool_queue_depth", "jobs enqueued but not yet picked up by a worker"),
+		inflight: r.Gauge("bluefi_pool_jobs_inflight", "jobs currently executing"),
+		jobs:     r.Counter("bluefi_pool_jobs_total", "jobs completed"),
+		jobSecs: r.Histogram("bluefi_pool_job_seconds", "per-job execution latency",
+			obs.ExpBuckets(1e-4, 3, 12)),
+	}
+}
+
+func (m *poolMetrics) setWorkers(n int) {
+	if m == nil {
+		return
+	}
+	m.workers.Set(int64(n))
+}
+
+// enqueued/dequeued/finished bracket one job's life-cycle.
+func (m *poolMetrics) enqueued() {
+	if m == nil {
+		return
+	}
+	m.queue.Inc()
+}
+
+func (m *poolMetrics) dequeued() {
+	if m == nil {
+		return
+	}
+	m.queue.Dec()
+	m.inflight.Inc()
+}
+
+func (m *poolMetrics) finished(seconds float64) {
+	if m == nil {
+		return
+	}
+	m.inflight.Dec()
+	m.jobs.Inc()
+	m.jobSecs.Observe(seconds)
 }
 
 // NewPool builds a pool of n independent Synthesizers with the same
@@ -32,7 +98,11 @@ func NewPool(opts Options, n int) (*Pool, error) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{jobs: make(chan func(*Synthesizer))}
+	p := &Pool{
+		jobs:   make(chan func(*Synthesizer)),
+		met:    newPoolMetrics(opts.Telemetry),
+		obsCtx: obs.WithRegistry(context.Background(), opts.Telemetry),
+	}
 	for i := 0; i < n; i++ {
 		s, err := New(opts)
 		if err != nil {
@@ -45,10 +115,14 @@ func NewPool(opts Options, n int) (*Pool, error) {
 		go func(s *Synthesizer) {
 			defer p.wg.Done()
 			for job := range p.jobs {
+				p.met.dequeued()
+				_, sp := obs.StartSpan(p.obsCtx, "pool.job")
 				job(s)
+				p.met.finished(sp.End().Seconds())
 			}
 		}(s)
 	}
+	p.met.setWorkers(len(p.syns))
 	return p, nil
 }
 
@@ -132,6 +206,7 @@ func (p *Pool) SynthesizeBatch(jobs []BatchJob) []BatchResult {
 	for i := range jobs {
 		i := i
 		wg.Add(1)
+		p.met.enqueued()
 		p.jobs <- func(s *Synthesizer) {
 			defer wg.Done()
 			results[i] = runJob(s, jobs[i])
@@ -155,6 +230,7 @@ func (p *Pool) BeaconBatch(jobs []BeaconJob) []BatchResult {
 func (p *Pool) do(fn func(*Synthesizer)) {
 	var wg sync.WaitGroup
 	wg.Add(1)
+	p.met.enqueued()
 	p.jobs <- func(s *Synthesizer) {
 		defer wg.Done()
 		fn(s)
