@@ -30,6 +30,19 @@ test:
 race: vet
 	go test -race -short -count=1 ./...
 
+# Chaos tier: deterministic fault injection (internal/faults) against
+# the hardened pool and the degradation-aware audio path, under the race
+# detector. The root TestChaos suite asserts injected worker panics,
+# latency inflation and interference bursts never escape the library,
+# the acceptance storm still ships ≥80% of frames, health recovers once
+# the fault budget is spent, and (via runtime.NumGoroutine) the pool
+# leaks zero goroutines; the package runs cover the injector's replay
+# contract, the degradation governor and interferer-driven decode loss.
+.PHONY: chaos
+chaos:
+	go test -race -count=1 ./internal/faults ./internal/a2dp ./internal/btrx
+	go test -race -count=1 -run TestChaos .
+
 # Regenerate the committed determinism vectors after an intentional
 # pipeline change; review the diff like any other code.
 .PHONY: golden

@@ -2,6 +2,7 @@ package bluefi
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"bluefi/internal/a2dp"
 	"bluefi/internal/bt"
 	"bluefi/internal/core"
+	"bluefi/internal/faults"
 	"bluefi/internal/obs"
 	"bluefi/internal/sbc"
 )
@@ -36,6 +38,19 @@ type AudioConfig struct {
 	// packet (0 = fill the baseband payload). Small values shorten the
 	// on-air packets — the §4.7 PER/throughput trade-off.
 	FramesPerPacket int
+	// Degrade, when non-nil, arms the graceful-degradation policy (see
+	// DegradePolicy and DESIGN.md §9): the stream steps down SBC bitpool
+	// and the AFH channel map under deadline misses, synthesis faults and
+	// interference, sheds media packets above a shipped-fraction floor
+	// while Shedding, and recovers with hysteresis. nil (the default)
+	// keeps the fixed-quality behavior, where any synthesis error fails
+	// the Send — the deterministic configuration the golden vectors use.
+	Degrade *DegradePolicy
+	// SlotBudget overrides the per-segment real-time deadline (0 = the
+	// packet's slots, rounded up to an even count, × 625 µs). Chaos tests
+	// set a generous budget so only injected latency — never host speed —
+	// causes deadline misses.
+	SlotBudget time.Duration
 }
 
 // SBCConfig mirrors the SBC codec parameters.
@@ -81,6 +96,18 @@ type AudioStream struct {
 	sbcCfg sbc.Config
 	dev    Device
 	frames int // SBC frames per media packet
+
+	// Degradation state (gov nil without AudioConfig.Degrade). ranked
+	// holds every usable Bluetooth channel best-first, so the governor's
+	// BestChannels target indexes a prefix; dropNext carries a Shedding
+	// drop decision to the next Send.
+	gov         *a2dp.Governor
+	inj         *faults.Injector // nil without Options.Faults
+	ranked      []int
+	curBitpool  int
+	curChannels int
+	dropNext    bool
+	segSlots    int // slots one segment occupies (even-rounded)
 
 	// slotBudget is the real-time synthesis deadline per segment: the
 	// slots the packet occupies (rounded up to the even slot the master
@@ -155,10 +182,15 @@ func (s *Synthesizer) NewAudioStream(cfg AudioConfig) (*AudioStream, error) {
 		return nil, err
 	}
 	center := 2407 + 5*float64(s.opts.WiFiChannel)
-	best, err := bestChannels(s.opts.WiFiChannel, center, cfg.BestChannels)
+	ranked, err := rankedChannels(s.opts.WiFiChannel, center)
 	if err != nil {
 		return nil, err
 	}
+	if len(ranked) < cfg.BestChannels {
+		return nil, fmt.Errorf("bluefi: only %d usable audio channels in WiFi channel %d", len(ranked), s.opts.WiFiChannel)
+	}
+	best := append([]int(nil), ranked[:cfg.BestChannels]...)
+	sort.Ints(best)
 	sched, err := a2dp.NewScheduler(a2dp.StreamConfig{
 		Device:        bt.Device(cfg.Device),
 		WiFiCenterMHz: center,
@@ -184,12 +216,29 @@ func (s *Synthesizer) NewAudioStream(cfg AudioConfig) (*AudioStream, error) {
 	if adv%2 == 1 {
 		adv++
 	}
-	return &AudioStream{
+	budget := cfg.SlotBudget
+	if budget <= 0 {
+		budget = time.Duration(adv) * 625 * time.Microsecond
+	}
+	a := &AudioStream{
 		syn: s, sched: sched, enc: enc, sbcCfg: sbcCfg, dev: cfg.Device, frames: frames,
-		slotBudget: time.Duration(adv) * 625 * time.Microsecond,
-		met:        newAudioMetrics(s.opts.Telemetry),
-		obsCtx:     obs.WithRegistry(context.Background(), s.opts.Telemetry),
-	}, nil
+		inj:         s.inj,
+		ranked:      ranked,
+		curBitpool:  sbcCfg.Bitpool,
+		curChannels: cfg.BestChannels,
+		segSlots:    adv,
+		slotBudget:  budget,
+		met:         newAudioMetrics(s.opts.Telemetry),
+		obsCtx:      obs.WithRegistry(context.Background(), s.opts.Telemetry),
+	}
+	if cfg.Degrade != nil {
+		pc := *cfg.Degrade
+		if pc.Telemetry == nil {
+			pc.Telemetry = s.opts.Telemetry
+		}
+		a.gov = a2dp.NewGovernor(pc, sbcCfg.Bitpool, cfg.BestChannels)
+	}
+	return a, nil
 }
 
 // SamplesPerSend returns the PCM samples per channel one Send consumes.
@@ -198,12 +247,51 @@ func (a *AudioStream) SamplesPerSend() int { return a.frames * a.sbcCfg.SamplesP
 // Channels returns the PCM channel count the stream expects.
 func (a *AudioStream) Channels() int { return a.sbcCfg.Mode.Channels() }
 
+// Health returns the stream's degradation state; without
+// AudioConfig.Degrade it is always HealthHealthy.
+func (a *AudioStream) Health() HealthState {
+	if a.gov == nil {
+		return HealthHealthy
+	}
+	return a.gov.State()
+}
+
+// Report summarizes the degradation history (zero value without
+// AudioConfig.Degrade).
+func (a *AudioStream) Report() DegradationReport {
+	if a.gov == nil {
+		return DegradationReport{}
+	}
+	return a.gov.Report()
+}
+
+// transientErr classifies failures the degradation policy may absorb as
+// a dropped packet: injected faults and pool-infrastructure losses. Real
+// synthesis errors (bad input, no covering channel) and a closed pool
+// always propagate.
+func transientErr(err error) bool {
+	var pe *PanicError
+	return faults.IsInjected(err) || errors.As(err, &pe) ||
+		errors.Is(err, ErrJobTimeout) || errors.Is(err, ErrJobShed) || errors.Is(err, ErrPoolOverloaded)
+}
+
 // Send encodes one media packet's worth of PCM (pcm[channel][sample],
 // exactly SamplesPerSend() samples per channel) and returns the
 // synthesized baseband transmissions — one per L2CAP segment.
+//
+// With AudioConfig.Degrade armed, Send may return (nil, nil): the packet
+// was shed — by the Shedding policy, or because a transient fault
+// (injected, worker panic, timeout) lost it — and the stream remains
+// usable. The governor's Report() accounts for every such drop.
 func (a *AudioStream) Send(pcm [][]float64) ([]*AudioTransmission, error) {
 	if len(pcm) != a.Channels() {
 		return nil, fmt.Errorf("bluefi: %d PCM channels, want %d", len(pcm), a.Channels())
+	}
+	if a.gov != nil && a.dropNext {
+		a.dropNext = false
+		a.gov.RecordDropped(1)
+		a.gov.Observe(a2dp.Signal{Slots: a.segSlots}) // a shed packet is a clean observation
+		return nil, nil
 	}
 	spf := a.sbcCfg.SamplesPerFrame()
 	frames := make([][]byte, a.frames)
@@ -225,45 +313,130 @@ func (a *AudioStream) Send(pcm [][]float64) ([]*AudioTransmission, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Injected interference dirties this packet's channel; the governor
+	// sees the duty cycle as a degradation signal.
+	var duty float64
+	if a.gov != nil {
+		if intf, on := a.inj.Interference(); on {
+			duty = intf.DutyCycle
+		}
+	}
+	out, worstSlack, err := a.synthesizeAll(scheduled)
+	if a.gov == nil {
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	dec := a.gov.Observe(a2dp.Signal{
+		DeadlineMiss:     worstSlack < 0,
+		SynthesisFailed:  err != nil,
+		InterferenceDuty: duty,
+		Slots:            a.segSlots * len(scheduled),
+	})
+	a.applyDecision(dec)
+	a.dropNext = dec.Drop
+	if err != nil {
+		if transientErr(err) {
+			a.gov.RecordDropped(1)
+			return nil, nil
+		}
+		return nil, err
+	}
+	a.gov.RecordShipped(1)
+	return out, nil
+}
+
+// synthesizeAll runs every scheduled segment — across the pool when one
+// is attached, serially otherwise — and reports the worst deadline slack
+// and the first error.
+func (a *AudioStream) synthesizeAll(scheduled []*a2dp.ScheduledPacket) ([]*AudioTransmission, time.Duration, error) {
+	type seg struct {
+		tx    *AudioTransmission
+		slack time.Duration
+	}
+	worst := time.Duration(1<<62 - 1)
 	if a.pool != nil {
 		// Segments are independent synthesis jobs; fan them out across
 		// the pool's workers. Results keep segment order.
 		out := make([]*AudioTransmission, len(scheduled))
+		slacks := make([]time.Duration, len(scheduled))
 		errs := make([]error, len(scheduled))
 		var wg sync.WaitGroup
 		for i, sp := range scheduled {
 			i, sp := i, sp
 			wg.Add(1)
-			a.pool.met.enqueued()
-			a.pool.jobs <- func(s *Synthesizer) {
+			go func() {
 				defer wg.Done()
-				out[i], errs[i] = a.synthesizeScheduled(s, sp)
-			}
+				res, err := poolDo(a.pool, func(s *Synthesizer) (seg, error) {
+					tx, slack, serr := a.synthesizeScheduled(s, sp)
+					if serr != nil {
+						return seg{}, serr
+					}
+					return seg{tx, slack}, nil
+				})
+				out[i], slacks[i], errs[i] = res.tx, res.slack, err
+			}()
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return nil, err
+		var first error
+		for i := range out {
+			if errs[i] != nil && first == nil {
+				first = errs[i]
+			}
+			if errs[i] == nil && slacks[i] < worst {
+				worst = slacks[i]
 			}
 		}
-		return out, nil
+		if first != nil {
+			return nil, worst, first
+		}
+		return out, worst, nil
 	}
 	out := make([]*AudioTransmission, 0, len(scheduled))
 	for _, sp := range scheduled {
-		tx, err := a.synthesizeScheduled(a.syn, sp)
+		tx, slack, err := a.synthesizeScheduled(a.syn, sp)
 		if err != nil {
-			return nil, err
+			return nil, worst, err
+		}
+		if slack < worst {
+			worst = slack
 		}
 		out = append(out, tx)
 	}
-	return out, nil
+	return out, worst, nil
+}
+
+// applyDecision moves the codec and channel map to the governor's
+// targets. Sample geometry (blocks × subbands) never changes, so
+// SamplesPerSend stays constant across quality steps.
+func (a *AudioStream) applyDecision(dec a2dp.Decision) {
+	if dec.Bitpool != a.curBitpool {
+		if err := a.enc.SetBitpool(dec.Bitpool); err == nil {
+			a.curBitpool = dec.Bitpool
+			a.sbcCfg.Bitpool = dec.Bitpool
+		}
+	}
+	if dec.BestChannels != a.curChannels {
+		k := dec.BestChannels
+		if k > len(a.ranked) {
+			k = len(a.ranked)
+		}
+		chs := append([]int(nil), a.ranked[:k]...)
+		sort.Ints(chs)
+		if err := a.sched.SetBest(chs); err == nil {
+			a.curChannels = dec.BestChannels
+		}
+	}
 }
 
 // synthesizeScheduled synthesizes one scheduled segment on the given
 // synthesizer with rehearsal-gated transmission: when synthesis predicts
 // more bit errors than the packet's FEC can absorb, move to the next slot
-// — its clock re-whitens the payload into a fresh waveform.
-func (a *AudioStream) synthesizeScheduled(syn *Synthesizer, sp *a2dp.ScheduledPacket) (*AudioTransmission, error) {
+// — its clock re-whitens the payload into a fresh waveform. The returned
+// slack is the slot budget minus the segment's (possibly fault-inflated)
+// synthesis time; negative means a live link would have missed the slot.
+func (a *AudioStream) synthesizeScheduled(syn *Synthesizer, sp *a2dp.ScheduledPacket) (*AudioTransmission, time.Duration, error) {
 	_, span := obs.StartSpan(a.obsCtx, "audio.segment")
 	var res *core.Result
 	var spent core.Timings // across re-slot attempts; reported on the winner
@@ -271,12 +444,12 @@ func (a *AudioStream) synthesizeScheduled(syn *Synthesizer, sp *a2dp.ScheduledPa
 		air, err := sp.Packet.AirBits(bt.Device(a.dev))
 		if err != nil {
 			span.End()
-			return nil, err
+			return nil, 0, err
 		}
 		res, err = syn.br.Synthesize(air, sp.ChannelMHz)
 		if err != nil {
 			span.End()
-			return nil, err
+			return nil, 0, err
 		}
 		spent.IQGen += res.Timings.IQGen
 		spent.FFTQAM += res.Timings.FFTQAM
@@ -290,31 +463,41 @@ func (a *AudioStream) synthesizeScheduled(syn *Synthesizer, sp *a2dp.ScheduledPa
 	res.Timings = spent
 	// Deadline slack: how much of the slot budget (packet slots × 625 µs)
 	// the rehearsal-gated synthesis left unused. Negative means the frame
-	// would have missed its slot on a live link.
-	a.met.observeSegment(a.slotBudget - span.End())
+	// would have missed its slot on a live link. An injected latency
+	// penalty inflates the charged time machine-independently.
+	slack := a.slotBudget - span.End() - a.inj.LatencyPenalty(a.slotBudget)
+	a.met.observeSegment(slack)
 	pkt, err := syn.wrap(res, -1)
 	if err != nil {
-		return nil, err
+		return nil, slack, err
 	}
-	return &AudioTransmission{Packet: pkt, Clock: uint32(sp.Clock), BTChannel: sp.Channel}, nil
+	return &AudioTransmission{Packet: pkt, Clock: uint32(sp.Clock), BTChannel: sp.Channel}, slack, nil
 }
 
 // NewAudioStream opens an audio stream whose per-Send segment synthesis
 // fans out across the pool's workers — the concurrent variant of
-// Synthesizer.NewAudioStream for real-time A2DP workloads.
+// Synthesizer.NewAudioStream for real-time A2DP workloads. Returns
+// ErrPoolClosed on a closed pool.
 func (p *Pool) NewAudioStream(cfg AudioConfig) (*AudioStream, error) {
+	if p.isClosed() {
+		return nil, ErrPoolClosed
+	}
 	a, err := p.syns[0].NewAudioStream(cfg)
 	if err != nil {
 		return nil, err
 	}
 	a.pool = p
+	if p.inj != nil {
+		a.inj = p.inj
+	}
 	return a, nil
 }
 
-// bestChannels scores the Bluetooth channels inside the WiFi channel by
-// pilot/null clearance and returns the top n (paper §4.7: "we select 3
-// best channels to transmit audio packets").
-func bestChannels(wifiCh int, centerMHz float64, n int) ([]int, error) {
+// rankedChannels scores the Bluetooth channels inside the WiFi channel
+// by pilot/null clearance and returns them best-first (paper §4.7: "we
+// select 3 best channels to transmit audio packets"). The full ranking
+// lets the degradation policy shrink to a cleanest-prefix and restore.
+func rankedChannels(wifiCh int, centerMHz float64) ([]int, error) {
 	type scored struct {
 		ch    int
 		score float64
@@ -327,14 +510,18 @@ func bestChannels(wifiCh int, centerMHz float64, n int) ([]int, error) {
 		}
 		all = append(all, scored{btCh, plan.Score})
 	}
-	if len(all) < n {
-		return nil, fmt.Errorf("bluefi: only %d usable audio channels in WiFi channel %d", len(all), wifiCh)
+	if len(all) == 0 {
+		return nil, fmt.Errorf("bluefi: no usable audio channels in WiFi channel %d", wifiCh)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
-	out := make([]int, n)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].ch < all[j].ch
+	})
+	out := make([]int, len(all))
 	for i := range out {
 		out[i] = all[i].ch
 	}
-	sort.Ints(out)
 	return out, nil
 }

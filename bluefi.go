@@ -24,13 +24,16 @@ package bluefi
 
 import (
 	"fmt"
+	"time"
 
+	"bluefi/internal/a2dp"
 	"bluefi/internal/beacon"
 	"bluefi/internal/bt"
 	"bluefi/internal/btrx"
 	"bluefi/internal/channel"
 	"bluefi/internal/chip"
 	"bluefi/internal/core"
+	"bluefi/internal/faults"
 	"bluefi/internal/gfsk"
 	"bluefi/internal/obs"
 )
@@ -57,6 +60,42 @@ type (
 	TelemetryGauge     = obs.Gauge
 	TelemetryHistogram = obs.Histogram
 )
+
+// FaultPlan declares deterministic fault injection for chaos testing:
+// seed-driven worker panics, synthesis errors, job latency inflation and
+// interference bursts. Attach one via Options.Faults; nil (the default)
+// disables injection entirely, the production configuration. Faults fired
+// appear in Telemetry as bluefi_faults_injected_total{kind}. See
+// DESIGN.md §9 for the fault model.
+type FaultPlan = faults.Plan
+
+// ErrInjectedFault marks errors fabricated by a FaultPlan; match with
+// errors.Is to tell injected failures from real ones.
+var ErrInjectedFault = faults.ErrInjected
+
+// DegradePolicy tunes an audio stream's graceful degradation (attach
+// via AudioConfig.Degrade; the zero value gives sensible defaults). The
+// stream walks Healthy → Degraded → Shedding on sustained deadline
+// misses, synthesis faults or interference — stepping down the SBC
+// bitpool, shrinking the AFH hop set to the cleanest channels, and
+// finally shedding media packets above a shipped-fraction floor — and
+// recovers with hysteresis once the link stays clean. See DESIGN.md §9.
+type DegradePolicy = a2dp.PolicyConfig
+
+// HealthState is an audio stream's degradation state.
+type HealthState = a2dp.Health
+
+// Audio stream health states (see AudioStream.Health).
+const (
+	HealthHealthy  = a2dp.Healthy
+	HealthDegraded = a2dp.Degraded
+	HealthShedding = a2dp.Shedding
+)
+
+// DegradationReport summarizes a stream's degradation history: frames
+// shipped vs dropped, slots spent per health state, transitions, and the
+// currently applied quality targets (see AudioStream.Report).
+type DegradationReport = a2dp.Report
 
 // Mode selects the FEC-inversion strategy (paper §2.7).
 type Mode int
@@ -109,6 +148,23 @@ type Options struct {
 	// the Telemetry type). Pools and audio streams built from these
 	// options share the registry.
 	Telemetry *Telemetry
+	// Faults, when non-nil, arms the deterministic fault injector (see
+	// FaultPlan) — chaos testing only; leave nil in production.
+	Faults *FaultPlan
+
+	// JobTimeout bounds one pool job's queue wait plus execution; a job
+	// exceeding it fails with ErrJobTimeout (0 = no deadline). The worker
+	// is not interrupted — synthesis is CPU-bound — but the late result
+	// is discarded.
+	JobTimeout time.Duration
+	// Retry re-runs pool jobs that fail retryably (panic, timeout,
+	// injected fault) with exponential backoff.
+	Retry RetryPolicy
+	// QueueDepth bounds the pool's job queue (0 = 4×workers).
+	QueueDepth int
+	// Overload selects what a full queue does with new jobs: Block
+	// (default), Reject, or DropOldest.
+	Overload OverloadPolicy
 }
 
 // Synthesizer converts Bluetooth packets to WiFi PSDUs for one chip and
@@ -123,6 +179,7 @@ type Synthesizer struct {
 	chip    *chip.Chip
 	quality *core.Synthesizer // BLE path (LE 1M GFSK)
 	br      *core.Synthesizer // BR path (basic-rate GFSK)
+	inj     *faults.Injector  // nil without Options.Faults
 }
 
 // New builds a Synthesizer.
@@ -135,6 +192,10 @@ func New(opts Options) (*Synthesizer, error) {
 		return nil, err
 	}
 	c := chip.New(m)
+	var inj *faults.Injector
+	if opts.Faults != nil {
+		inj = faults.New(*opts.Faults, opts.Telemetry)
+	}
 	mk := func(g gfsk.Config) (*core.Synthesizer, error) {
 		o := core.DefaultOptions()
 		o.Mode = core.Mode(opts.Mode)
@@ -142,6 +203,7 @@ func New(opts Options) (*Synthesizer, error) {
 		o.ScramblerSeed = c.NextSeed()
 		o.GFSK = g
 		o.Telemetry = opts.Telemetry
+		o.Faults = inj
 		return core.New(o)
 	}
 	q, err := mk(gfsk.BLEConfig())
@@ -152,7 +214,7 @@ func New(opts Options) (*Synthesizer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Synthesizer{opts: opts, chip: c, quality: q, br: b}, nil
+	return &Synthesizer{opts: opts, chip: c, quality: q, br: b, inj: inj}, nil
 }
 
 // Packet is a synthesized WiFi frame carrying a Bluetooth transmission.

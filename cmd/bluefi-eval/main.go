@@ -6,8 +6,9 @@
 //	bluefi-eval -fig all
 //	bluefi-eval -fig 9 -n 40
 //	bluefi-eval -bench-json            # BENCH_eval.json regression snapshot
-//	bluefi-eval -serve :8399           # live /metrics over a synthesis workload
+//	bluefi-eval -serve :8399           # live /metrics + /health over a synthesis workload
 //	bluefi-eval -obs-overhead          # telemetry overhead gate (CI)
+//	bluefi-eval -faults storm          # chaos scenario → degradation report
 package main
 
 import (
@@ -28,8 +29,16 @@ func main() {
 	serve := flag.String("serve", "", "serve /metrics, /metrics.json and /traces on this address (e.g. :8399) over a continuous synthesis workload, instead of figures")
 	serveWorkers := flag.Int("serve-workers", 2, "pool workers for the -serve workload")
 	obsOverhead := flag.Bool("obs-overhead", false, "measure telemetry overhead on BenchmarkSynthesize and fail if attached/disabled ns/op exceeds 1.05")
+	faultsScenario := flag.String("faults", "", "run a chaos scenario (panics, latency, interference, storm) and append its degradation report to -bench-out")
 	flag.Parse()
 
+	if *faultsScenario != "" {
+		if err := runFaults(*faultsScenario, *benchOut, *n); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: faults: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serve != "" {
 		if err := runServe(*serve, *serveWorkers); err != nil {
 			fmt.Fprintf(os.Stderr, "bluefi-eval: serve: %v\n", err)

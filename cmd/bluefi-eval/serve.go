@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"net"
@@ -11,7 +12,8 @@ import (
 )
 
 // runServe exposes the telemetry endpoints (/metrics, /metrics.json,
-// /traces) while a continuous synthesis workload exercises every
+// /traces — plus /health, the audio stream's degradation state and
+// report) while a continuous synthesis workload exercises every
 // instrumented path: pooled beacon/BR batches plus an A2DP audio stream.
 // It is the live counterpart of the figure runs — point a Prometheus
 // scraper (or curl) at it and watch the stage histograms fill.
@@ -37,6 +39,7 @@ func runServe(addr string, workers int) error {
 		PacketType:      bluefi.DM1,
 		SBC:             bluefi.SBCConfig{SampleRateHz: 16000, Blocks: 4, Subbands: 4, Bitpool: 8},
 		FramesPerPacket: 1,
+		Degrade:         &bluefi.DegradePolicy{},
 	})
 	if err != nil {
 		return err
@@ -49,8 +52,18 @@ func runServe(addr string, workers int) error {
 	fmt.Fprintf(os.Stderr, "bluefi-eval: serving telemetry on http://%s/metrics (Ctrl-C to stop)\n",
 		ln.Addr())
 
+	mux := http.NewServeMux()
+	mux.Handle("/", reg.Handler())
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			State  string                   `json:"state"`
+			Report bluefi.DegradationReport `json:"report"`
+		}{stream.Health().String(), stream.Report()})
+	})
+
 	go serveWorkload(pool, stream, timingsNS)
-	return http.Serve(ln, reg.Handler())
+	return http.Serve(ln, mux)
 }
 
 // serveWorkload loops forever: one mixed pooled batch plus one audio

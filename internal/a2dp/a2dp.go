@@ -144,18 +144,18 @@ func (m *schedMetrics) observeReslot() {
 // goroutines, and each must atomically claim the next usable slot.
 type Scheduler struct {
 	mu sync.Mutex
-	// cfg, hop, afh, best and ssrc are immutable after NewScheduler;
+	// cfg, hop, afh and ssrc are immutable after NewScheduler;
 	// concurrent reads need no lock.
 	cfg  StreamConfig
 	hop  *bt.HopSelector
 	afh  *bt.AFHMap
-	best map[int]bool
 	ssrc uint32
 	met  *schedMetrics
 
-	clk     bt.Clock // guarded by mu
-	seq     uint16   // guarded by mu
-	tsTicks uint32   // guarded by mu
+	best    map[int]bool // guarded by mu; mutable via SetBest (degradation)
+	clk     bt.Clock     // guarded by mu
+	seq     uint16       // guarded by mu
+	tsTicks uint32       // guarded by mu
 }
 
 // ScheduledPacket is one audio transmission: the baseband packet, the
@@ -205,6 +205,40 @@ func NewScheduler(cfg StreamConfig) (*Scheduler, error) {
 
 // AFHSize returns the AFH channel-set size (20 for a centred WiFi channel).
 func (s *Scheduler) AFHSize() int { return s.afh.Size() }
+
+// SetBest replaces the best-channel restriction — the degradation
+// policy's channel-map knob: under interference the stream shrinks to
+// the cleanest subset and restores the full set on recovery. Every
+// channel must lie inside the AFH set; an empty slice lifts the
+// restriction. Safe to call while packets are being scheduled: slots
+// already handed out keep their channels, subsequent NextSlot/Reslot
+// calls see the new set.
+func (s *Scheduler) SetBest(chs []int) error {
+	nb := map[int]bool{}
+	for _, ch := range chs {
+		if !s.afh.Allowed(ch) {
+			return fmt.Errorf("a2dp: best channel %d outside the AFH set", ch)
+		}
+		nb[ch] = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.best = nb
+	return nil
+}
+
+// BestChannels returns the active best-channel set, sorted.
+func (s *Scheduler) BestChannels() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.best))
+	for ch := 0; ch < bt.NumChannels; ch++ {
+		if s.best[ch] {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
 
 // Clock returns the scheduler's current Bluetooth clock.
 func (s *Scheduler) Clock() bt.Clock {

@@ -7,10 +7,13 @@
 // Two strictness tiers, selected by import path:
 //
 //   - Strict — packages whose path ends in internal/{core, wifi, dsp,
-//     gfsk, bits, viterbi}. Any use of math/rand (even seeded), any
-//     wall-clock read (time.Now/Since/Until), ranging over a map, and
-//     multi-case select statements are diagnosed: none of those belong
-//     in a deterministic transform.
+//     gfsk, bits, viterbi, faults}. Any use of math/rand (even seeded),
+//     any wall-clock read (time.Now/Since/Until), ranging over a map,
+//     and multi-case select statements are diagnosed: none of those
+//     belong in a deterministic transform. internal/faults is strict by
+//     contract, not exempt like obs: the fault injector promises
+//     bit-identical replay from a seed, so its decisions must come from
+//     counter hashes, never from a clock or a shared rand source.
 //
 //   - Lax — every other package (channel/airtime/eval simulate noise,
 //     commands print reports). Only genuinely nondeterministic sources
@@ -50,7 +53,7 @@ var Analyzer = &framework.Analyzer{
 // strictPkgRe matches the deterministic synthesis packages by path
 // suffix, so analysistest fixtures named like real packages get the
 // same treatment.
-var strictPkgRe = regexp.MustCompile(`(^|/)internal/(core|wifi|dsp|gfsk|bits|viterbi)$`)
+var strictPkgRe = regexp.MustCompile(`(^|/)internal/(core|wifi|dsp|gfsk|bits|viterbi|faults)$`)
 
 // obsPkgRe matches the telemetry package, which is exempt from the
 // wall-clock diagnostics entirely: timing is its purpose (see the

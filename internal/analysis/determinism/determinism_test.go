@@ -8,12 +8,14 @@ import (
 )
 
 // TestDeterminism covers both tiers plus the telemetry exemption: the
-// strict fixture's import path ends in internal/core, the lax fixture
-// simulates noise, and the internal/obs fixture reads the clock freely
-// without any suppressions. Every diagnostic message and both
-// suppression paths (reasoned, reasonless) have expectations in the
+// strict fixtures' import paths end in internal/core and internal/faults
+// (the fault injector is strict by contract — seed-driven replay), the
+// lax fixture simulates noise, and the internal/obs fixture reads the
+// clock freely without any suppressions. Every diagnostic message and
+// both suppression paths (reasoned, reasonless) have expectations in the
 // fixtures.
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
-		"bluefi/internal/core", "sim/noise", "bluefi/internal/obs")
+		"bluefi/internal/core", "sim/noise", "bluefi/internal/obs",
+		"bluefi/internal/faults")
 }

@@ -1,0 +1,48 @@
+// Strict-tier determinism fixture for the fault injector: this fake
+// package's import path ends in internal/faults, which is strict by
+// contract — injection decisions must replay bit-identically from a
+// seed, so no wholesale exemption like internal/obs applies. Randomness
+// (even seeded), wall-clock reads, map ranges and multi-case selects
+// are all violations; the sanctioned pattern is a pure counter hash.
+package faults
+
+import (
+	"math/rand" // want `deterministic package .* imports "math/rand"`
+	"time"
+)
+
+func clockDrivenJitter() time.Duration {
+	t0 := time.Now()      // want `time.Now reads the wall clock`
+	return time.Since(t0) // want `time.Since reads the wall clock`
+}
+
+func seededDrawIsStillBanned(seed int64) bool {
+	rng := rand.New(rand.NewSource(seed)) // want `call of math/rand.New in deterministic package` `call of math/rand.NewSource in deterministic package`
+	return rng.Float64() < 0.5            // want `call of math/rand.Float64 in deterministic package`
+}
+
+func planRates(rates map[string]float64) float64 {
+	var sum float64
+	for _, r := range rates { // want `map iteration order is nondeterministic`
+		sum += r
+	}
+	return sum
+}
+
+func raceForFirstFault(a, b chan int) int {
+	select { // want `select over 2 cases resolves by scheduler choice`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// counterHash is the sanctioned decision source: a pure function of
+// (seed, draw index) — no diagnostics expected.
+func counterHash(seed uint64, n uint64) uint64 {
+	x := seed + n*0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -10,6 +10,7 @@ import (
 	"bluefi/internal/bt"
 	"bluefi/internal/btrx"
 	"bluefi/internal/dsp"
+	"bluefi/internal/faults"
 	"bluefi/internal/gfsk"
 	"bluefi/internal/obs"
 	"bluefi/internal/viterbi"
@@ -134,6 +135,12 @@ type Options struct {
 	// synthesized bits — and a nil registry costs one branch per record.
 	// Worker clones of the parallel phase search share the registry.
 	Telemetry *obs.Registry
+	// Faults, when non-nil, is consulted once per Synthesize call and
+	// may fail it with an injected error — the chaos-test hook for
+	// synthesis failure. Like Telemetry it never feeds the synthesized
+	// bits: with a nil (or non-firing) injector the output is
+	// bit-identical to an uninstrumented run.
+	Faults *faults.Injector
 	// CPPrecompensation likewise subtracts the CP-design construction's
 	// own in-band phase error (θ̂ vs θ through the nominal channel
 	// filter) from the target. The CP corruption is structural and fully
@@ -819,6 +826,9 @@ func (s *Synthesizer) precompensateCPExact(theta, working, thetaHat []float64, o
 func (s *Synthesizer) Synthesize(airBits []byte, btMHz float64) (*Result, error) {
 	if len(airBits) == 0 {
 		return nil, fmt.Errorf("core: no air bits")
+	}
+	if err := s.opts.Faults.SynthesisError(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	g := s.opts.GFSK
 	g.CenterOffset = 0 // baseband; the offset is mixed in below

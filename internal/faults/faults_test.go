@@ -1,0 +1,194 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"bluefi/internal/obs"
+)
+
+// TestNilInjectorNoOps: every hook must be callable on a nil *Injector —
+// that is the production fast path.
+func TestNilInjectorNoOps(t *testing.T) {
+	var inj *Injector
+	inj.PanicPoint()
+	if err := inj.SynthesisError(); err != nil {
+		t.Fatalf("nil injector returned error: %v", err)
+	}
+	if d := inj.LatencyPenalty(time.Millisecond); d != 0 {
+		t.Fatalf("nil injector charged latency: %v", d)
+	}
+	if _, on := inj.Interference(); on {
+		t.Fatal("nil injector produced interference")
+	}
+	if inj.Injected() != 0 || !inj.Exhausted() {
+		t.Fatal("nil injector has state")
+	}
+}
+
+// TestDisabledPlanYieldsNil: a plan with no rates set cannot fire, so
+// New keeps callers on the nil fast path.
+func TestDisabledPlanYieldsNil(t *testing.T) {
+	if inj := New(Plan{Seed: 7}, nil); inj != nil {
+		t.Fatal("disabled plan built a live injector")
+	}
+}
+
+// TestDeterministicSequences: same seed → identical fire/skip sequences
+// at every hook; a different seed disagrees somewhere.
+func TestDeterministicSequences(t *testing.T) {
+	plan := Plan{Seed: 42, SynthErrorRate: 0.3, LatencyRate: 0.3, InterferenceRate: 0.3}
+	seq := func(p Plan) (synth, lat, intf []bool) {
+		inj := New(p, nil)
+		for n := 0; n < 200; n++ {
+			synth = append(synth, inj.SynthesisError() != nil)
+			lat = append(lat, inj.LatencyPenalty(time.Millisecond) > 0)
+			_, on := inj.Interference()
+			intf = append(intf, on)
+		}
+		return
+	}
+	s1, l1, i1 := seq(plan)
+	s2, l2, i2 := seq(plan)
+	for n := range s1 {
+		if s1[n] != s2[n] || l1[n] != l2[n] || i1[n] != i2[n] {
+			t.Fatalf("draw %d not reproducible across same-seed injectors", n)
+		}
+	}
+	plan.Seed = 43
+	s3, l3, i3 := seq(plan)
+	same := true
+	for n := range s1 {
+		if s1[n] != s3[n] || l1[n] != l3[n] || i1[n] != i3[n] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 600-draw sequences")
+	}
+}
+
+// TestRateConvergence: the empirical fire rate over many draws must sit
+// near the configured probability.
+func TestRateConvergence(t *testing.T) {
+	inj := New(Plan{Seed: 1, SynthErrorRate: 0.25}, nil)
+	fired := 0
+	const n = 10000
+	for k := 0; k < n; k++ {
+		if inj.SynthesisError() != nil {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if got < 0.22 || got > 0.28 {
+		t.Fatalf("fire rate %.3f, want ≈0.25", got)
+	}
+}
+
+// TestPanicPoint: the panic hook throws an InjectedPanic when it fires.
+func TestPanicPoint(t *testing.T) {
+	inj := New(Plan{Seed: 5, WorkerPanicRate: 1}, nil)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("PanicPoint at rate 1 did not panic")
+		}
+		ip, ok := r.(InjectedPanic)
+		if !ok || ip.Seq != 1 {
+			t.Fatalf("recovered %#v, want InjectedPanic{Seq:1}", r)
+		}
+	}()
+	inj.PanicPoint()
+}
+
+// TestLatencyPenalty: the penalty is factor × nominal, with LatencyBase
+// standing in when the caller has no nominal.
+func TestLatencyPenalty(t *testing.T) {
+	inj := New(Plan{Seed: 9, LatencyRate: 1, LatencyFactor: 2}, nil)
+	if d := inj.LatencyPenalty(3 * time.Millisecond); d != 6*time.Millisecond {
+		t.Fatalf("penalty %v, want 6ms", d)
+	}
+	if d := inj.LatencyPenalty(0); d != 2*625*time.Microsecond {
+		t.Fatalf("default-base penalty %v, want 1.25ms", d)
+	}
+}
+
+// TestInterferenceSeeding: each fired burst carries a distinct
+// reproducible seed derived from the plan seed and draw index.
+func TestInterferenceSeeding(t *testing.T) {
+	mk := func() (a, b int64) {
+		inj := New(Plan{Seed: 77, InterferenceRate: 1}, nil)
+		i1, on1 := inj.Interference()
+		i2, on2 := inj.Interference()
+		if !on1 || !on2 {
+			t.Fatal("rate-1 interference did not fire")
+		}
+		if i1.DutyCycle != 0.3 || i1.BurstSamples != 4800 {
+			t.Fatalf("defaults not applied: %+v", i1)
+		}
+		return i1.Seed, i2.Seed
+	}
+	a1, b1 := mk()
+	a2, b2 := mk()
+	if a1 != a2 || b1 != b2 {
+		t.Fatal("burst seeds not reproducible")
+	}
+	if a1 == b1 {
+		t.Fatal("successive bursts share a seed")
+	}
+}
+
+// TestMaxInjectionsBudget: MaxInjections caps total fires across hooks
+// and flips Exhausted, even under concurrent draws.
+func TestMaxInjectionsBudget(t *testing.T) {
+	inj := New(Plan{Seed: 3, SynthErrorRate: 1, MaxInjections: 10}, nil)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				if inj.SynthesisError() != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 10 {
+		t.Fatalf("%d faults fired, budget was 10", fired)
+	}
+	if !inj.Exhausted() || inj.Injected() != 10 {
+		t.Fatalf("Exhausted=%v Injected=%d, want true/10", inj.Exhausted(), inj.Injected())
+	}
+}
+
+// TestMetrics: fired faults land in the bluefi_faults_injected_total
+// family, one series per kind.
+func TestMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	inj := New(Plan{Seed: 11, SynthErrorRate: 1, LatencyRate: 1}, reg)
+	for k := 0; k < 5; k++ {
+		inj.SynthesisError()
+		inj.LatencyPenalty(time.Millisecond)
+	}
+	snap := reg.Snapshot()
+	var total int64
+	for _, fam := range snap.Families {
+		if fam.Name != "bluefi_faults_injected_total" {
+			continue
+		}
+		for _, m := range fam.Metrics {
+			total += m.Value
+		}
+	}
+	if total != 10 {
+		t.Fatalf("injected_total sums to %d, want 10", total)
+	}
+}

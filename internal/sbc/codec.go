@@ -159,6 +159,22 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 // Config returns the encoder configuration.
 func (e *Encoder) Config() Config { return e.cfg }
 
+// SetBitpool retunes the encoder's bitpool mid-stream — the degradation
+// policy's quality knob. Only the bit allocation changes; the filterbank
+// state carries over, so the switch is click-free. The new bitpool rides
+// in every frame header, so a compliant decoder follows along without
+// renegotiation. Frames encoded after the call are FrameBytes() of the
+// updated Config.
+func (e *Encoder) SetBitpool(bitpool int) error {
+	cfg := e.cfg
+	cfg.Bitpool = bitpool
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	e.cfg = cfg
+	return nil
+}
+
 // allocateBits implements the SBC allocation loop: each subband's
 // "bitneed" derives from its scale factor (minus a loudness offset), then
 // bits are handed out one at a time to the neediest subband until the
