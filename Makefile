@@ -43,6 +43,19 @@ chaos:
 	go test -race -count=1 ./internal/faults ./internal/a2dp ./internal/btrx
 	go test -race -count=1 -run TestChaos .
 
+# E2E tier: the TX→RX loopback conformance rig under the race detector.
+# Every synthesis mode (BLE beacon, BR, EDR) goes through the public API,
+# the seeded channel model and back through internal/scan; the golden
+# round-trip decodes every committed PSDU vector; the connection test
+# drives ADV_IND → CONN_IND → data-channel hopping → ATT read with
+# goroutine-leak checks. The bluefi-eval matrix gates per-leg PDR and
+# appends the scanner snapshot to BENCH_eval.json. See DESIGN.md §10.
+.PHONY: e2e
+e2e:
+	go test -race -count=1 -run 'TestE2E|TestGoldenRoundTrip' .
+	go test -race -count=1 ./internal/scan
+	go run ./cmd/bluefi-eval -e2e
+
 # Regenerate the committed determinism vectors after an intentional
 # pipeline change; review the diff like any other code.
 .PHONY: golden

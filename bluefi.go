@@ -378,6 +378,77 @@ type BasebandPacket struct {
 	Clock   uint32
 }
 
+// EDRType identifies the EDR 2-DH/3-DH ACL packet types (π/4-DQPSK at
+// 2 Mb/s, 8DPSK at 3 Mb/s). The zero value is invalid so option structs
+// can detect "not set".
+type EDRType int
+
+// EDR ACL packet types.
+const (
+	EDR2DH1 = EDRType(bt.EDR2DH1) + 1
+	EDR2DH3 = EDRType(bt.EDR2DH3) + 1
+	EDR2DH5 = EDRType(bt.EDR2DH5) + 1
+	EDR3DH1 = EDRType(bt.EDR3DH1) + 1
+	EDR3DH3 = EDRType(bt.EDR3DH3) + 1
+	EDR3DH5 = EDRType(bt.EDR3DH5) + 1
+)
+
+// inner converts to the baseband EDR type, validating the value.
+func (t EDRType) inner() (bt.EDRPacketType, error) {
+	if t < EDR2DH1 || t > EDR3DH5 {
+		return 0, fmt.Errorf("bluefi: invalid EDR packet type %d", int(t))
+	}
+	return bt.EDRPacketType(t - 1), nil
+}
+
+// EDRBasebandPacket describes one EDR packet to synthesize: GFSK access
+// code and header at 1 Mb/s, DPSK payload at 2 or 3 Mb/s.
+type EDRBasebandPacket struct {
+	Type    EDRType
+	LTAddr  byte
+	Flow    byte
+	ARQN    byte
+	SEQN    byte
+	LLID    byte
+	Payload []byte
+	Clock   uint32
+}
+
+// EDRPacket synthesizes an EDR baseband packet on a Bluetooth channel
+// through the phase-trajectory entry point (§5.3). The GFSK access code
+// and header decode through a COTS receiver like any BR packet; the
+// DPSK payload survives every synthesis stage except the chip's cyclic-
+// prefix insertion, so end-to-end payload recovery needs a CP-tolerant
+// receiver (see DESIGN.md §10).
+func (s *Synthesizer) EDRPacket(dev Device, pkt *EDRBasebandPacket, btChannel int) (*Packet, error) {
+	if btChannel < 0 || btChannel >= bt.NumChannels {
+		return nil, fmt.Errorf("bluefi: Bluetooth channel %d out of range", btChannel)
+	}
+	et, err := pkt.Type.inner()
+	if err != nil {
+		return nil, err
+	}
+	inner := &bt.EDRPacket{
+		Type:    et,
+		LTAddr:  pkt.LTAddr,
+		Flow:    pkt.Flow,
+		ARQN:    pkt.ARQN,
+		SEQN:    pkt.SEQN,
+		Payload: pkt.Payload,
+		Clock:   pkt.Clock,
+		LLID:    pkt.LLID,
+	}
+	theta, _, err := inner.AirPhase(bt.Device(dev), 20)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.br.SynthesizePhase(theta, bt.ChannelMHz(btChannel))
+	if err != nil {
+		return nil, err
+	}
+	return s.wrap(res, -1)
+}
+
 // IBeacon re-exports the iBeacon payload builder.
 type IBeacon = beacon.IBeacon
 
@@ -401,6 +472,21 @@ type Timings = core.Timings
 // With Options.Telemetry attached, the same durations also populate the
 // bluefi_core_stage_seconds histograms, so the two views always agree.
 func (p *Packet) Timings() Timings { return p.res.Timings }
+
+// Waveform returns a copy of the predicted over-the-air IQ waveform at
+// 20 Msps, centered on the WiFi channel — what an SDR capturing the
+// frame would record before noise. External receive rigs feed it
+// through a channel model into a scanner.
+func (p *Packet) Waveform() []complex128 {
+	out := make([]complex128, len(p.res.Waveform))
+	copy(out, p.res.Waveform)
+	return out
+}
+
+// ChannelOffsetHz returns the Bluetooth carrier's offset from the WiFi
+// channel center — the tuning offset a receiver needs to demodulate the
+// packet from the Waveform stream.
+func (p *Packet) ChannelOffsetHz() float64 { return p.res.Plan.OffsetHz }
 
 // Plan lists the WiFi channels able to carry a Bluetooth frequency,
 // best (farthest from pilots and nulls) first.

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"math"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -162,19 +163,38 @@ func TestChaosBatchAfterClose(t *testing.T) {
 	}
 }
 
-// TestChaosDoubleClosePanics: double close stays a programmer error.
-func TestChaosDoubleClosePanics(t *testing.T) {
+// TestChaosDoubleCloseIdempotent: regression for the double-Close
+// panic — Close and Shutdown may be called any number of times, from
+// any goroutine, and every call returns once the drain completes.
+func TestChaosDoubleCloseIdempotent(t *testing.T) {
 	pool, err := NewPool(Options{Mode: RealTime}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pool.Close()
-	defer func() {
-		if recover() == nil {
-			t.Fatal("second Close did not panic")
-		}
-	}()
-	pool.Close()
+	pool.Close() // used to panic "bluefi: Pool closed twice"
+	if err := pool.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown after Close: %v", err)
+	}
+
+	// Concurrent closers all return, none panic.
+	pool2, err := NewPool(Options{Mode: RealTime, QueueDepth: 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			pool2.Close()
+		}()
+	}
+	wg.Wait()
+	res := pool2.BeaconBatch([]BeaconJob{{Addr: [6]byte{0xBF}, BLEChannel: 38}})
+	if len(res) != 1 || !errors.Is(res[0].Err, ErrPoolClosed) {
+		t.Fatalf("submit after close: %+v, want ErrPoolClosed", res)
+	}
 }
 
 // TestChaosShutdownDeadline: Shutdown under a deadline fails queued

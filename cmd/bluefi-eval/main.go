@@ -9,6 +9,7 @@
 //	bluefi-eval -serve :8399           # live /metrics + /health over a synthesis workload
 //	bluefi-eval -obs-overhead          # telemetry overhead gate (CI)
 //	bluefi-eval -faults storm          # chaos scenario → degradation report
+//	bluefi-eval -e2e                   # TX→RX conformance matrix → scanner PDR snapshot
 package main
 
 import (
@@ -30,8 +31,16 @@ func main() {
 	serveWorkers := flag.Int("serve-workers", 2, "pool workers for the -serve workload")
 	obsOverhead := flag.Bool("obs-overhead", false, "measure telemetry overhead on BenchmarkSynthesize and fail if attached/disabled ns/op exceeds 1.05")
 	faultsScenario := flag.String("faults", "", "run a chaos scenario (panics, latency, interference, storm) and append its degradation report to -bench-out")
+	e2e := flag.Bool("e2e", false, "run the loopback conformance matrix (BLE/BR/EDR through channel and scanner) and append the scanner PDR snapshot to -bench-out")
 	flag.Parse()
 
+	if *e2e {
+		if err := runE2E(*benchOut, *n); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: e2e: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *faultsScenario != "" {
 		if err := runFaults(*faultsScenario, *benchOut, *n); err != nil {
 			fmt.Fprintf(os.Stderr, "bluefi-eval: faults: %v\n", err)

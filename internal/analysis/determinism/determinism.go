@@ -53,7 +53,7 @@ var Analyzer = &framework.Analyzer{
 // strictPkgRe matches the deterministic synthesis packages by path
 // suffix, so analysistest fixtures named like real packages get the
 // same treatment.
-var strictPkgRe = regexp.MustCompile(`(^|/)internal/(core|wifi|dsp|gfsk|bits|viterbi|faults)$`)
+var strictPkgRe = regexp.MustCompile(`(^|/)internal/(core|wifi|dsp|gfsk|bits|viterbi|faults|scan)$`)
 
 // obsPkgRe matches the telemetry package, which is exempt from the
 // wall-clock diagnostics entirely: timing is its purpose (see the

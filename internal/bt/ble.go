@@ -124,14 +124,7 @@ func (a *Advertisement) AirBits(channel int) ([]byte, error) {
 	bleWhitener(channel).Whiten(body)
 
 	out := bits.NewWriter()
-	// Preamble: alternating sequence whose first bit equals the access
-	// address LSB (0x8E89BED5 LSB = 1 → 10101010 air order = 0x55
-	// pattern starting with 1).
-	aaLSB := byte(AdvAccessAddress & 1)
-	for i := 0; i < 8; i++ {
-		out.Uint(uint64(aaLSB^byte(i&1)), 1)
-	}
-	out.Uint(uint64(AdvAccessAddress), 32)
+	out.Bits(PreambleAA(AdvAccessAddress))
 	out.Bits(body)
 	return out.BitSlice(), nil
 }

@@ -1,0 +1,347 @@
+package bt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"bluefi/internal/bits"
+)
+
+// BLE link layer beyond broadcast advertising (spec Vol 6 Part B): the
+// CONN_IND PDU that turns an advertiser into a connection slave, the
+// data physical channel PDU format, and channel selection algorithm #1 —
+// everything a BlueFi AP needs to serve *connectable* devices (paper
+// §4.7) rather than beacons alone. The connection state machine that
+// drives these wire formats lives in internal/scan.
+
+// NumLEDataChannels is the count of LE data physical channels (0–36;
+// 37–39 are the advertising channels).
+const NumLEDataChannels = 37
+
+// PDUConnInd is the advertising-channel PDU type of a connection
+// request (CONN_IND, formerly CONNECT_REQ).
+const PDUConnInd AdvPDUType = 0x5
+
+// LEChannelMap is the 37-bit data channel map of a connection: bit k of
+// the little-endian 5-byte field marks data channel k as used.
+type LEChannelMap [5]byte
+
+// NewLEChannelMap builds a map from an explicit list of data channel
+// indices (0–36).
+func NewLEChannelMap(used []int) (LEChannelMap, error) {
+	var m LEChannelMap
+	for _, ch := range used {
+		if ch < 0 || ch >= NumLEDataChannels {
+			return m, fmt.Errorf("bt: LE data channel %d out of range", ch)
+		}
+		m[ch/8] |= 1 << (ch % 8)
+	}
+	return m, nil
+}
+
+// Used reports whether data channel ch is in the map.
+func (m LEChannelMap) Used(ch int) bool {
+	return ch >= 0 && ch < NumLEDataChannels && m[ch/8]>>(ch%8)&1 == 1
+}
+
+// Channels returns the used data channels in ascending index order.
+func (m LEChannelMap) Channels() []int {
+	var out []int
+	for ch := 0; ch < NumLEDataChannels; ch++ {
+		if m.Used(ch) {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// NumUsed returns the used-channel count.
+func (m LEChannelMap) NumUsed() int { return len(m.Channels()) }
+
+// LEDataChannelsInWiFiBand returns the LE data channels whose
+// ±btHalfBwMHz band lies fully inside the 20 MHz WiFi channel centered
+// at wifiCenterMHz — the AFH restriction BlueFi applies so every hop of
+// a connection stays synthesizable by one AP (paper §4.7).
+func LEDataChannelsInWiFiBand(wifiCenterMHz, btHalfBwMHz float64) []int {
+	var out []int
+	lo, hi := wifiCenterMHz-10+btHalfBwMHz, wifiCenterMHz+10-btHalfBwMHz
+	for ch := 0; ch < NumLEDataChannels; ch++ {
+		f, err := BLEChannelMHz(ch)
+		if err != nil {
+			continue
+		}
+		if f >= lo && f <= hi {
+			out = append(out, ch)
+		}
+	}
+	return out
+}
+
+// ConnInd is the CONN_IND payload: the initiator's identity plus the
+// LLData block that seeds the entire connection (access address, CRC
+// init, timing grid, channel map, hop increment).
+type ConnInd struct {
+	InitA [6]byte // initiator address, little-endian air order
+	AdvA  [6]byte // advertiser being connected to
+	// AA is the connection's access address (replaces 0x8E89BED5 on data
+	// channels).
+	AA uint32
+	// CRCInit seeds the data-channel CRC-24 (24 significant bits).
+	CRCInit uint32
+	// WinSize/WinOffset place the first connection event (units of
+	// 1.25 ms).
+	WinSize   byte
+	WinOffset uint16
+	// Interval is the connection interval in 1.25 ms units (7.5 ms–4 s).
+	Interval uint16
+	// Latency is the slave latency (events the slave may skip).
+	Latency uint16
+	// Timeout is the supervision timeout in 10 ms units.
+	Timeout uint16
+	// ChM is the AFH data channel map.
+	ChM LEChannelMap
+	// Hop is the CSA#1 hop increment (5–16).
+	Hop byte
+	// SCA encodes the master's sleep clock accuracy (0–7).
+	SCA byte
+}
+
+// llDataLen is the LLData block size; the CONN_IND payload is
+// InitA + AdvA + LLData.
+const llDataLen = 22
+
+func (c *ConnInd) validate() error {
+	if c.AA == 0 || c.AA == AdvAccessAddress {
+		return fmt.Errorf("bt: CONN_IND access address %#x is reserved", c.AA)
+	}
+	if c.Hop < 5 || c.Hop > 16 {
+		return fmt.Errorf("bt: CONN_IND hop increment %d outside 5–16", c.Hop)
+	}
+	if c.ChM.NumUsed() < 2 {
+		return fmt.Errorf("bt: CONN_IND channel map uses %d channels, need ≥2", c.ChM.NumUsed())
+	}
+	return nil
+}
+
+// Advertisement packs the CONN_IND into an advertising-channel PDU: the
+// header's AdvA slot carries InitA and the payload carries
+// AdvA + LLData, reusing the advertising whitening/CRC machinery.
+func (c *ConnInd) Advertisement() (*Advertisement, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	data := make([]byte, 0, 6+llDataLen)
+	data = append(data, c.AdvA[:]...)
+	ll := make([]byte, llDataLen)
+	binary.LittleEndian.PutUint32(ll[0:], c.AA)
+	ll[4] = byte(c.CRCInit)
+	ll[5] = byte(c.CRCInit >> 8)
+	ll[6] = byte(c.CRCInit >> 16)
+	ll[7] = c.WinSize
+	binary.LittleEndian.PutUint16(ll[8:], c.WinOffset)
+	binary.LittleEndian.PutUint16(ll[10:], c.Interval)
+	binary.LittleEndian.PutUint16(ll[12:], c.Latency)
+	binary.LittleEndian.PutUint16(ll[14:], c.Timeout)
+	copy(ll[16:21], c.ChM[:])
+	ll[21] = c.Hop&0x1F | c.SCA<<5
+	return &Advertisement{PDUType: PDUConnInd, AdvA: c.InitA, Data: append(data, ll...)}, nil
+}
+
+// AirBits assembles the CONN_IND's over-the-air bits for an advertising
+// channel.
+func (c *ConnInd) AirBits(channel int) ([]byte, error) {
+	adv, err := c.Advertisement()
+	if err != nil {
+		return nil, err
+	}
+	return adv.AirBits(channel)
+}
+
+// ParseConnInd recovers a CONN_IND from a decoded advertising PDU.
+func ParseConnInd(adv *Advertisement) (*ConnInd, error) {
+	if adv.PDUType != PDUConnInd {
+		return nil, fmt.Errorf("bt: PDU type %#x is not CONN_IND", uint8(adv.PDUType))
+	}
+	if len(adv.Data) != 6+llDataLen {
+		return nil, fmt.Errorf("bt: CONN_IND payload %d bytes, want %d", len(adv.Data), 6+llDataLen)
+	}
+	c := &ConnInd{InitA: adv.AdvA}
+	copy(c.AdvA[:], adv.Data[:6])
+	ll := adv.Data[6:]
+	c.AA = binary.LittleEndian.Uint32(ll[0:])
+	c.CRCInit = uint32(ll[4]) | uint32(ll[5])<<8 | uint32(ll[6])<<16
+	c.WinSize = ll[7]
+	c.WinOffset = binary.LittleEndian.Uint16(ll[8:])
+	c.Interval = binary.LittleEndian.Uint16(ll[10:])
+	c.Latency = binary.LittleEndian.Uint16(ll[12:])
+	c.Timeout = binary.LittleEndian.Uint16(ll[14:])
+	copy(c.ChM[:], ll[16:21])
+	c.Hop = ll[21] & 0x1F
+	c.SCA = ll[21] >> 5
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// ChSel1 is channel selection algorithm #1: unmapped channel advances
+// by the hop increment modulo 37 each connection event; unused channels
+// remap onto the used set by index (spec Vol 6 Part B §4.5.8.2). The
+// sequence is a pure function of (hop, channel map, event count) — both
+// ends of a connection compute it independently and must agree.
+type ChSel1 struct {
+	hop      int
+	last     int // lastUnmappedChannel
+	used     []int
+	inUse    [NumLEDataChannels]bool
+	advanced uint64
+}
+
+// NewChSel1 builds the selector; hop must be 5–16 and the map must keep
+// at least two channels.
+func NewChSel1(hop byte, chm LEChannelMap) (*ChSel1, error) {
+	if hop < 5 || hop > 16 {
+		return nil, fmt.Errorf("bt: hop increment %d outside 5–16", hop)
+	}
+	used := chm.Channels()
+	if len(used) < 2 {
+		return nil, fmt.Errorf("bt: channel map uses %d channels, need ≥2", len(used))
+	}
+	c := &ChSel1{hop: int(hop), used: used}
+	for _, ch := range used {
+		c.inUse[ch] = true
+	}
+	return c, nil
+}
+
+// Next advances to the next connection event and returns its data
+// channel.
+func (c *ChSel1) Next() int {
+	c.last = (c.last + c.hop) % NumLEDataChannels
+	c.advanced++
+	if c.inUse[c.last] {
+		return c.last
+	}
+	return c.used[c.last%len(c.used)]
+}
+
+// Events returns how many connection events have been selected.
+func (c *ChSel1) Events() uint64 { return c.advanced }
+
+// LLID values of data physical channel PDUs.
+const (
+	// LLIDContinuation marks an L2CAP continuation fragment or an empty
+	// PDU (the connection keepalive).
+	LLIDContinuation byte = 0b01
+	// LLIDStart marks the start of (or a complete) L2CAP message.
+	LLIDStart byte = 0b10
+	// LLIDControl marks an LL control PDU.
+	LLIDControl byte = 0b11
+)
+
+// maxDataPayload bounds the data PDU payload (LE data length extension
+// ceiling; legacy links use ≤27).
+const maxDataPayload = 251
+
+// DataPDU is one data physical channel PDU: the 16-bit header's
+// acknowledgement bits plus the payload.
+type DataPDU struct {
+	LLID byte
+	// NESN/SN implement the 1-bit ack scheme; MD signals more data.
+	NESN, SN, MD bool
+	Payload      []byte
+}
+
+// Empty returns the empty PDU (LLID 01, length 0) — what a connection
+// event carries when there is nothing to say, keeping the link alive.
+func (p *DataPDU) Empty() bool { return len(p.Payload) == 0 && p.LLID == LLIDContinuation }
+
+// EmptyPDU builds a keepalive with the given sequence bits.
+func EmptyPDU(sn, nesn bool) *DataPDU {
+	return &DataPDU{LLID: LLIDContinuation, SN: sn, NESN: nesn}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// AirBits assembles the on-air bits of the PDU for a connection:
+// preamble, access address, whitened header + payload + CRC-24 seeded
+// with the connection's CRCInit, whitening keyed by the data channel.
+func (p *DataPDU) AirBits(aa uint32, dataChannel int, crcInit uint32) ([]byte, error) {
+	if dataChannel < 0 || dataChannel >= NumLEDataChannels {
+		return nil, fmt.Errorf("bt: data channel %d out of range", dataChannel)
+	}
+	if len(p.Payload) > maxDataPayload {
+		return nil, fmt.Errorf("bt: data PDU payload %d bytes exceeds %d", len(p.Payload), maxDataPayload)
+	}
+	if p.LLID == 0 {
+		return nil, fmt.Errorf("bt: data PDU LLID 0b00 is reserved")
+	}
+	w := bits.NewWriter()
+	w.Uint(uint64(p.LLID&3), 2)
+	w.Uint(b2u(p.NESN), 1)
+	w.Uint(b2u(p.SN), 1)
+	w.Uint(b2u(p.MD), 1)
+	w.Uint(0, 3) // RFU
+	w.Uint(uint64(len(p.Payload)), 8)
+	w.Bytes(p.Payload)
+	pdu := bits.Clone(w.BitSlice())
+	body := append(pdu, crc24(pdu, crcInit&0xFFFFFF)...)
+	bleWhitener(dataChannel).Whiten(body)
+
+	out := bits.NewWriter()
+	out.Bits(PreambleAA(aa))
+	out.Bits(body)
+	return out.BitSlice(), nil
+}
+
+// DecodeDataPDU parses bits following the access address of a data
+// channel PDU (whitened header+payload+CRC). The second return reports
+// whether the CRC checked out; a false return with a non-nil PDU means
+// the header parsed but the CRC failed.
+func DecodeDataPDU(stream []byte, dataChannel int, crcInit uint32) (*DataPDU, bool) {
+	if dataChannel < 0 || dataChannel >= NumLEDataChannels {
+		return nil, false
+	}
+	if len(stream) < 16 {
+		return nil, false
+	}
+	dewhitened := bleWhitener(dataChannel).Whiten(bits.Clone(stream))
+	r := bits.NewReader(dewhitened)
+	p := &DataPDU{}
+	p.LLID = byte(r.Uint(2))
+	p.NESN = r.Uint(1) == 1
+	p.SN = r.Uint(1) == 1
+	p.MD = r.Uint(1) == 1
+	r.Uint(3)
+	length := int(r.Uint(8))
+	if r.Err() != nil || p.LLID == 0 || length > maxDataPayload || r.Remaining() < 8*length+24 {
+		return nil, false
+	}
+	p.Payload = r.Bytes(length)
+	crc := r.Bits(24)
+	if r.Err() != nil {
+		return nil, false
+	}
+	if !bits.Equal(crc24(dewhitened[:16+8*length], crcInit&0xFFFFFF), crc) {
+		return p, false
+	}
+	return p, true
+}
+
+// PreambleAA returns the 40 on-air bits shared by every BLE packet: the
+// 8-bit alternating preamble (first bit equal to the access address
+// LSB) followed by the 32-bit access address.
+func PreambleAA(aa uint32) []byte {
+	out := bits.NewWriter()
+	lsb := byte(aa & 1)
+	for i := 0; i < 8; i++ {
+		out.Uint(uint64(lsb^byte(i&1)), 1)
+	}
+	out.Uint(uint64(aa), 32)
+	return out.BitSlice()
+}

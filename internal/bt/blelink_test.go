@@ -1,0 +1,168 @@
+package bt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testConnInd() *ConnInd {
+	chm, err := NewLEChannelMap([]int{9, 10, 11, 12, 13, 14, 15, 16, 17, 18})
+	if err != nil {
+		panic(err)
+	}
+	return &ConnInd{
+		InitA:     [6]byte{0xC0, 1, 2, 3, 4, 5},
+		AdvA:      [6]byte{0xBF, 9, 8, 7, 6, 5},
+		AA:        0x50655535,
+		CRCInit:   0xA1B2C3,
+		WinSize:   2,
+		WinOffset: 6,
+		Interval:  40,
+		Latency:   0,
+		Timeout:   300,
+		ChM:       chm,
+		Hop:       7,
+		SCA:       1,
+	}
+}
+
+func TestConnIndRoundTrip(t *testing.T) {
+	ci := testConnInd()
+	air, err := ci.AirBits(38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scanner sees an advertising PDU; parse past preamble+AA.
+	adv, ok := DecodeAdvertisement(air[40:], 38)
+	if !ok {
+		t.Fatal("CONN_IND failed the advertising CRC")
+	}
+	got, err := ParseConnInd(adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *ci {
+		t.Fatalf("CONN_IND round trip mismatch:\n got %+v\nwant %+v", got, ci)
+	}
+}
+
+func TestConnIndRejectsBadFields(t *testing.T) {
+	for _, mod := range []struct {
+		name string
+		f    func(*ConnInd)
+	}{
+		{"advertising AA", func(c *ConnInd) { c.AA = AdvAccessAddress }},
+		{"zero AA", func(c *ConnInd) { c.AA = 0 }},
+		{"hop too small", func(c *ConnInd) { c.Hop = 4 }},
+		{"hop too large", func(c *ConnInd) { c.Hop = 17 }},
+		{"empty channel map", func(c *ConnInd) { c.ChM = LEChannelMap{} }},
+	} {
+		ci := testConnInd()
+		mod.f(ci)
+		if _, err := ci.AirBits(38); err == nil {
+			t.Errorf("%s: AirBits accepted an invalid CONN_IND", mod.name)
+		}
+	}
+}
+
+func TestDataPDURoundTrip(t *testing.T) {
+	const aa, crcInit = uint32(0x50655535), uint32(0xA1B2C3)
+	for _, tc := range []struct {
+		name string
+		pdu  *DataPDU
+		ch   int
+	}{
+		{"empty keepalive", EmptyPDU(false, true), 9},
+		{"start fragment", &DataPDU{LLID: LLIDStart, SN: true, Payload: []byte{0x04, 0x00, 0x04, 0x00, 0x0A, 0x2A, 0x00}}, 17},
+		{"control", &DataPDU{LLID: LLIDControl, MD: true, Payload: []byte{0x02}}, 36},
+		{"max legacy payload", &DataPDU{LLID: LLIDStart, Payload: bytes.Repeat([]byte{0x5A}, 27)}, 0},
+	} {
+		air, err := tc.pdu.AirBits(aa, tc.ch, crcInit)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !bytes.Equal(air[:40], PreambleAA(aa)) {
+			t.Fatalf("%s: preamble/AA bits wrong", tc.name)
+		}
+		got, ok := DecodeDataPDU(air[40:], tc.ch, crcInit)
+		if !ok {
+			t.Fatalf("%s: CRC failed", tc.name)
+		}
+		if got.LLID != tc.pdu.LLID || got.NESN != tc.pdu.NESN || got.SN != tc.pdu.SN || got.MD != tc.pdu.MD ||
+			!bytes.Equal(got.Payload, tc.pdu.Payload) {
+			t.Fatalf("%s: round trip mismatch: got %+v want %+v", tc.name, got, tc.pdu)
+		}
+	}
+}
+
+func TestDataPDUWrongContextFails(t *testing.T) {
+	pdu := &DataPDU{LLID: LLIDStart, Payload: []byte("attribute")}
+	air, err := pdu.AirBits(0x50655535, 12, 0xA1B2C3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := DecodeDataPDU(air[40:], 12, 0xFFFFFF); ok {
+		t.Error("decoded with the wrong CRC init")
+	}
+	if _, ok := DecodeDataPDU(air[40:], 13, 0xA1B2C3); ok {
+		t.Error("decoded with the wrong whitening channel")
+	}
+	if got, ok := DecodeDataPDU(air[40:], 12, 0xA1B2C3); !ok || !bytes.Equal(got.Payload, pdu.Payload) {
+		t.Error("correct context no longer decodes")
+	}
+}
+
+func TestDataPDUDecodeHostileInput(t *testing.T) {
+	// Truncated, oversized-length and garbage streams must return
+	// cleanly, never panic.
+	for n := 0; n < 64; n++ {
+		stream := make([]byte, n)
+		for i := range stream {
+			stream[i] = byte(i*7+n) & 1
+		}
+		DecodeDataPDU(stream, 5, 0x123456)
+	}
+	if _, ok := DecodeDataPDU(make([]byte, 4096), -1, 0); ok {
+		t.Error("decoded on a negative channel")
+	}
+}
+
+func TestLEChannelMap(t *testing.T) {
+	chm, err := NewLEChannelMap([]int{0, 4, 36})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := chm.Channels(); len(got) != 3 || got[0] != 0 || got[1] != 4 || got[2] != 36 {
+		t.Fatalf("Channels() = %v", got)
+	}
+	if chm.Used(1) || !chm.Used(36) {
+		t.Fatal("Used() wrong")
+	}
+	if _, err := NewLEChannelMap([]int{37}); err == nil {
+		t.Fatal("accepted channel 37 as a data channel")
+	}
+}
+
+func TestLEDataChannelsInWiFiBand(t *testing.T) {
+	// WiFi channel 3 (2422 MHz): data channels from 2413–2431 MHz with
+	// a ±1 MHz guard — all inside 2412..2432.
+	chans := LEDataChannelsInWiFiBand(2422, 1)
+	if len(chans) == 0 {
+		t.Fatal("no data channels under WiFi channel 3")
+	}
+	for _, ch := range chans {
+		f, err := BLEChannelMHz(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f < 2413 || f > 2431 {
+			t.Errorf("channel %d at %.0f MHz outside the band", ch, f)
+		}
+	}
+	// The advertising channels must never appear.
+	for _, ch := range chans {
+		if ch >= NumLEDataChannels {
+			t.Errorf("advertising channel %d in data set", ch)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package bt
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Satellite: table-driven AFH channel-map selection and hop-sequence
+// determinism. The same seed material (device address / hop increment)
+// and channel map must yield the identical sequence no matter how many
+// goroutines compute it or what GOMAXPROCS is (run with -cpu 1,4,8).
+
+func TestAFHMapSelectionTable(t *testing.T) {
+	wifi3 := ChannelsInWiFiBand(2422, 0.7)
+	for _, tc := range []struct {
+		name    string
+		allowed []int
+		wantErr bool
+		remap   map[int]int // excluded channel -> expected remap target
+	}{
+		{
+			name:    "wifi channel 3 band",
+			allowed: wifi3,
+			// 78 is far outside WiFi channel 3; 78 % len(allowed) indexes
+			// the allowed list.
+			remap: map[int]int{78: wifi3[78%len(wifi3)], wifi3[0]: wifi3[0]},
+		},
+		{
+			name:    "two channels",
+			allowed: []int{10, 11},
+			remap:   map[int]int{0: 10, 1: 11, 77: 11, 10: 10},
+		},
+		{
+			name:    "empty set rejected",
+			allowed: nil,
+			wantErr: true,
+		},
+		{
+			name:    "out of range rejected",
+			allowed: []int{79},
+			wantErr: true,
+		},
+		{
+			name:    "duplicate rejected",
+			allowed: []int{5, 5},
+			wantErr: true,
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := NewAFHMap(tc.allowed)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("NewAFHMap accepted an invalid set")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Size() != len(tc.allowed) {
+				t.Fatalf("Size() = %d, want %d", m.Size(), len(tc.allowed))
+			}
+			for from, want := range tc.remap {
+				if got := m.Remap(from); got != want {
+					t.Errorf("Remap(%d) = %d, want %d", from, got, want)
+				}
+				if got := m.Remap(from); !m.Allowed(got) {
+					t.Errorf("Remap(%d) = %d left the allowed set", from, got)
+				}
+			}
+		})
+	}
+}
+
+// hopSequence computes n BR hops for a device through an AFH map.
+func hopSequence(dev Device, m *AFHMap, n int) []int {
+	sel := NewHopSelector(dev)
+	out := make([]int, n)
+	for i := range out {
+		out[i] = m.Remap(sel.Channel(Clock(2 * i)))
+	}
+	return out
+}
+
+// chsel1Sequence computes n CSA#1 data channels.
+func chsel1Sequence(t *testing.T, hop byte, chm LEChannelMap, n int) []int {
+	t.Helper()
+	cs, err := NewChSel1(hop, chm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = cs.Next()
+	}
+	return out
+}
+
+func TestHopSequenceDeterminism(t *testing.T) {
+	const n = 512
+	afh, err := NewAFHMap(ChannelsInWiFiBand(2422, 0.7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leMap, err := NewLEChannelMap(LEDataChannelsInWiFiBand(2422, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		seq  func() []int
+	}{
+		{"BR+AFH dev1", func() []int { return hopSequence(Device{LAP: 0x9E8B33, UAP: 0x47}, afh, n) }},
+		{"BR+AFH dev2", func() []int { return hopSequence(Device{LAP: 0x123456, UAP: 0x9A}, afh, n) }},
+		{"CSA1 hop5", func() []int { return chsel1Sequence(t, 5, leMap, n) }},
+		{"CSA1 hop7", func() []int { return chsel1Sequence(t, 7, leMap, n) }},
+		{"CSA1 hop16", func() []int { return chsel1Sequence(t, 16, leMap, n) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.seq()
+			// Recompute concurrently: every goroutine must see the same
+			// sequence regardless of scheduling and GOMAXPROCS.
+			const workers = 8
+			got := make([][]int, workers)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					got[w] = tc.seq()
+				}()
+			}
+			wg.Wait()
+			for w := 0; w < workers; w++ {
+				if fmt.Sprint(got[w]) != fmt.Sprint(want) {
+					t.Fatalf("worker %d diverged from the serial sequence", w)
+				}
+			}
+		})
+	}
+}
+
+func TestChSel1Properties(t *testing.T) {
+	leMap, err := NewLEChannelMap(LEDataChannelsInWiFiBand(2422, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := leMap.Channels()
+	inUse := map[int]bool{}
+	for _, ch := range used {
+		inUse[ch] = true
+	}
+	for _, hop := range []byte{5, 9, 12, 16} {
+		seq := chsel1Sequence(t, hop, leMap, 2048)
+		counts := map[int]int{}
+		for _, ch := range seq {
+			if !inUse[ch] {
+				t.Fatalf("hop %d selected channel %d outside the map", hop, ch)
+			}
+			counts[ch]++
+		}
+		// Every allowed channel must be exercised — AFH confinement
+		// without starvation.
+		for _, ch := range used {
+			if counts[ch] == 0 {
+				t.Errorf("hop %d never used channel %d", hop, ch)
+			}
+		}
+	}
+	if _, err := NewChSel1(4, leMap); err == nil {
+		t.Error("accepted hop increment 4")
+	}
+}

@@ -239,6 +239,21 @@ type Report struct {
 	RSSIdBm     float64
 	SyncErrors  int
 	SampleStart int // where the access code begins in the stream
+	// Adv carries the parsed advertising PDU when ReceiveBLE decoded one
+	// (nil otherwise) — the scanner reads the PDU type and addresses.
+	Adv *bt.Advertisement
+	// Data carries the parsed data-channel PDU from ReceiveBLEData; it
+	// may be non-nil with Result.CRCError set when the header parsed but
+	// the CRC failed.
+	Data *bt.DataPDU
+}
+
+// Reseed re-derives the receiver's front-end noise and RSSI jitter
+// source. The scanner gives every capture its own counter-derived seed
+// so a parallel sweep consumes randomness identically to a serial one.
+func (r *Receiver) Reseed(seed int64) {
+	r.Seed = seed
+	r.rng = rand.New(rand.NewSource(seed))
 }
 
 // ReceiveBR searches the stream for a BR/EDR packet with the receiver's
@@ -275,23 +290,23 @@ func (r *Receiver) ReceiveBR(iq []complex128, clk uint32) (Report, error) {
 // ReceiveBLE searches for a BLE advertising packet on the given
 // advertising channel index.
 func (r *Receiver) ReceiveBLE(iq []complex128, advChannel int) (Report, error) {
-	// Correlation target: preamble + access address bits.
-	probe := &bt.Advertisement{PDUType: bt.AdvNonconnInd}
-	ref, err := probe.AirBits(advChannel)
-	if err != nil {
-		return Report{}, err
+	isAdv := false
+	for _, c := range bt.AdvChannels {
+		if advChannel == c {
+			isAdv = true
+		}
 	}
-	target := ref[:40] // preamble(8) + AA(32)
+	if !isAdv {
+		return Report{}, fmt.Errorf("btrx: channel %d is not an advertising channel", advChannel)
+	}
+	// Correlation target: preamble + access address bits.
+	target := bt.PreambleAA(bt.AdvAccessAddress)
 	bb := r.baseband(iq)
 	freq := r.discriminate(bb)
 
 	bestErr, bestPhase, bestOff := r.correlate(freq, target)
 	rep := Report{SyncErrors: bestErr}
-	maxErr := r.MaxSyncErrors
-	if maxErr > 3 {
-		maxErr = 3 // AA correlation is stricter than BR sync words
-	}
-	if bestErr > maxErr {
+	if bestErr > r.maxAAErrors() {
 		rep.RSSIdBm = r.reportRSSI(bb)
 		return rep, nil
 	}
@@ -301,6 +316,54 @@ func (r *Receiver) ReceiveBLE(iq []complex128, advChannel int) (Report, error) {
 	adv, ok := bt.DecodeAdvertisement(sliced[bestOff+len(target):], advChannel)
 	if ok {
 		rep.Result = bt.DecodeResult{OK: true, Payload: adv.Data}
+		rep.Adv = adv
+	} else {
+		rep.Result = bt.DecodeResult{CRCError: true}
+	}
+	end := rep.SampleStart + 376*r.spb
+	if end > len(bb) {
+		end = len(bb)
+	}
+	rep.RSSIdBm = r.reportRSSI(bb[rep.SampleStart:end])
+	return rep, nil
+}
+
+// maxAAErrors is the access-address correlation threshold: stricter
+// than BR sync words (32 bits vs 72).
+func (r *Receiver) maxAAErrors() int {
+	if r.MaxSyncErrors > 3 {
+		return 3
+	}
+	return r.MaxSyncErrors
+}
+
+// ReceiveBLEData searches the stream for a BLE data physical channel
+// PDU on a connection: aa is the access address assigned by the
+// CONN_IND, dataChannel keys the whitening and crcInit seeds the
+// CRC-24. A Report with Detected set and Result.CRCError records an
+// access-address hit whose payload failed the CRC — the scanner counts
+// those separately from clean misses.
+func (r *Receiver) ReceiveBLEData(iq []complex128, aa uint32, dataChannel int, crcInit uint32) (Report, error) {
+	if dataChannel < 0 || dataChannel >= bt.NumLEDataChannels {
+		return Report{}, fmt.Errorf("btrx: data channel %d out of range", dataChannel)
+	}
+	target := bt.PreambleAA(aa)
+	bb := r.baseband(iq)
+	freq := r.discriminate(bb)
+
+	bestErr, bestPhase, bestOff := r.correlate(freq, target)
+	rep := Report{SyncErrors: bestErr}
+	if bestErr > r.maxAAErrors() {
+		rep.RSSIdBm = r.reportRSSI(bb)
+		return rep, nil
+	}
+	rep.Detected = true
+	rep.SampleStart = bestPhase + bestOff*r.spb
+	sliced, _ := r.sliceBits(freq, bestPhase)
+	pdu, ok := bt.DecodeDataPDU(sliced[bestOff+len(target):], dataChannel, crcInit)
+	rep.Data = pdu
+	if ok {
+		rep.Result = bt.DecodeResult{OK: true, Payload: pdu.Payload}
 	} else {
 		rep.Result = bt.DecodeResult{CRCError: true}
 	}

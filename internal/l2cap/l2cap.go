@@ -13,6 +13,9 @@ import (
 // Well-known channel identifiers.
 const (
 	CIDSignaling = 0x0001
+	// CIDAttribute is the fixed LE channel carrying the Attribute
+	// Protocol (spec Vol 3 Part A §2.1) — GATT reads ride here.
+	CIDAttribute = 0x0004
 	// CIDDynamicFirst is the first dynamically-allocated CID (AVDTP media
 	// channels land here).
 	CIDDynamicFirst = 0x0040

@@ -1,0 +1,386 @@
+package scan
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"bluefi/internal/bt"
+	"bluefi/internal/l2cap"
+)
+
+// Connection state machine: ADV_IND → CONN_IND → data-channel hopping
+// with empty-PDU keepalives and a minimal GATT-style attribute read.
+// The Peripheral models the BlueFi AP (the device synthesized over
+// WiFi); the Central models the scanning initiator. Both sides advance
+// their CSA#1 hop selectors in lockstep, one data channel per
+// connection event, and acknowledge with the BLE 1-bit SN/NESN scheme.
+
+// ConnState is a link-layer connection state (spec Vol 6 Part B §1.1).
+type ConnState int
+
+// Link-layer states.
+const (
+	StateStandby ConnState = iota
+	StateAdvertising
+	StateConnected
+)
+
+var connStateNames = [...]string{"standby", "advertising", "connected"}
+
+func (s ConnState) String() string {
+	if s < 0 || int(s) >= len(connStateNames) {
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+	return connStateNames[s]
+}
+
+// ATT opcodes for the minimal attribute exchange.
+const (
+	attErrorRsp = 0x01
+	attReadReq  = 0x0A
+	attReadRsp  = 0x0B
+
+	attErrAttributeNotFound = 0x0A
+)
+
+// AttributeServer is a minimal GATT-style attribute table: handles map
+// to opaque values. Storage is a sorted slice so iteration order is
+// deterministic.
+type AttributeServer struct {
+	handles []uint16
+	values  [][]byte
+}
+
+// Set stores (or replaces) the value behind a handle.
+func (a *AttributeServer) Set(handle uint16, value []byte) {
+	i := sort.Search(len(a.handles), func(i int) bool { return a.handles[i] >= handle })
+	if i < len(a.handles) && a.handles[i] == handle {
+		a.values[i] = append([]byte{}, value...)
+		return
+	}
+	a.handles = append(a.handles, 0)
+	a.values = append(a.values, nil)
+	copy(a.handles[i+1:], a.handles[i:])
+	copy(a.values[i+1:], a.values[i:])
+	a.handles[i] = handle
+	a.values[i] = append([]byte{}, value...)
+}
+
+// Read returns the value behind a handle.
+func (a *AttributeServer) Read(handle uint16) ([]byte, bool) {
+	i := sort.Search(len(a.handles), func(i int) bool { return a.handles[i] >= handle })
+	if i < len(a.handles) && a.handles[i] == handle {
+		return a.values[i], true
+	}
+	return nil, false
+}
+
+// ackState is one side's SN/NESN bookkeeping (spec Vol 6 Part B §4.5.9).
+type ackState struct {
+	sn, nesn bool
+	lastTx   *bt.DataPDU // retransmitted until acknowledged
+	fromQ    bool        // lastTx was the head of the tx queue
+}
+
+// onRx applies the peer's PDU: reports whether its payload is new data
+// (vs a retransmission) and whether a queued transmission was acked.
+func (a *ackState) onRx(pdu *bt.DataPDU) (newData, ackedQ bool) {
+	if pdu.SN == a.nesn {
+		newData = true
+		a.nesn = !a.nesn
+	}
+	if pdu.NESN != a.sn {
+		ackedQ = a.fromQ
+		a.sn = !a.sn
+		a.lastTx, a.fromQ = nil, false
+	}
+	return newData, ackedQ
+}
+
+// stamp fills a PDU's sequence bits from our state and remembers it for
+// retransmission; fromQ marks it as the head of the tx queue.
+func (a *ackState) stamp(pdu *bt.DataPDU, fromQ bool) *bt.DataPDU {
+	pdu.SN, pdu.NESN = a.sn, a.nesn
+	a.lastTx, a.fromQ = pdu, fromQ
+	return pdu
+}
+
+// Peripheral is the advertiser side of a BLE connection — in BlueFi the
+// synthesized AP. It owns the attribute table the central reads.
+type Peripheral struct {
+	AdvA    [6]byte
+	AdvData []byte
+	Attrs   *AttributeServer
+
+	state ConnState
+	link  *bt.ConnInd
+	hop   *bt.ChSel1
+	ack   ackState
+	txq   [][]byte // pending ATT responses, oldest first
+}
+
+// NewPeripheral builds a peripheral in the advertising state.
+func NewPeripheral(advA [6]byte, advData []byte, attrs *AttributeServer) *Peripheral {
+	if attrs == nil {
+		attrs = &AttributeServer{}
+	}
+	return &Peripheral{AdvA: advA, AdvData: advData, Attrs: attrs, state: StateAdvertising}
+}
+
+// State reports the link-layer state.
+func (p *Peripheral) State() ConnState { return p.state }
+
+// Link returns the accepted CONN_IND parameters (nil before connect).
+func (p *Peripheral) Link() *bt.ConnInd { return p.link }
+
+// Advertise returns the connectable ADV_IND the peripheral beacons on
+// the advertising channels.
+func (p *Peripheral) Advertise() (*bt.Advertisement, error) {
+	if p.state == StateConnected {
+		return nil, fmt.Errorf("scan: peripheral is connected, not advertising")
+	}
+	if len(p.AdvData) > 31 {
+		return nil, fmt.Errorf("scan: advertising data %d bytes exceeds 31", len(p.AdvData))
+	}
+	return &bt.Advertisement{PDUType: bt.AdvInd, AdvA: p.AdvA, Data: p.AdvData}, nil
+}
+
+// HandleConnInd accepts a CONN_IND addressed to this peripheral and
+// transitions to the connected state.
+func (p *Peripheral) HandleConnInd(ci *bt.ConnInd) error {
+	if ci.AdvA != p.AdvA {
+		return fmt.Errorf("scan: CONN_IND for %x ignored by %x", ci.AdvA, p.AdvA)
+	}
+	hop, err := bt.NewChSel1(ci.Hop, ci.ChM)
+	if err != nil {
+		return err
+	}
+	p.link, p.hop = ci, hop
+	p.ack = ackState{}
+	p.txq = nil
+	p.state = StateConnected
+	return nil
+}
+
+// NextChannel advances the hop selector by one connection event and
+// returns the data channel. Central and peripheral advance in lockstep.
+func (p *Peripheral) NextChannel() (int, error) {
+	if p.state != StateConnected {
+		return 0, fmt.Errorf("scan: peripheral in state %v has no data channel", p.state)
+	}
+	return p.hop.Next(), nil
+}
+
+// HandleEvent processes the central's PDU for one connection event and
+// returns the peripheral's reply: a queued ATT response when one is
+// ready to (re)send, an empty-PDU keepalive otherwise.
+func (p *Peripheral) HandleEvent(master *bt.DataPDU) (*bt.DataPDU, error) {
+	if p.state != StateConnected {
+		return nil, fmt.Errorf("scan: data PDU in state %v", p.state)
+	}
+	newData, ackedQ := p.ack.onRx(master)
+	if ackedQ && len(p.txq) > 0 {
+		p.txq = p.txq[1:]
+	}
+	if newData && !master.Empty() && master.LLID == bt.LLIDStart {
+		if rsp := p.serveATT(master.Payload); rsp != nil {
+			p.txq = append(p.txq, rsp)
+		}
+	}
+	if p.ack.lastTx != nil {
+		// Unacked: retransmit the identical PDU (same SN, fresh NESN).
+		p.ack.lastTx.NESN = p.ack.nesn
+		return p.ack.lastTx, nil
+	}
+	if len(p.txq) > 0 {
+		return p.ack.stamp(&bt.DataPDU{LLID: bt.LLIDStart, Payload: p.txq[0]}, true), nil
+	}
+	return p.ack.stamp(bt.EmptyPDU(false, false), false), nil
+}
+
+// serveATT answers an L2CAP-framed ATT request with a marshaled
+// response frame (nil for traffic that isn't an ATT request).
+func (p *Peripheral) serveATT(payload []byte) []byte {
+	frame, err := l2cap.Unmarshal(payload)
+	if err != nil || frame.CID != l2cap.CIDAttribute || len(frame.Payload) == 0 {
+		return nil
+	}
+	req := frame.Payload
+	var rsp []byte
+	switch req[0] {
+	case attReadReq:
+		if len(req) != 3 {
+			return nil
+		}
+		handle := binary.LittleEndian.Uint16(req[1:])
+		if value, ok := p.Attrs.Read(handle); ok {
+			rsp = append([]byte{attReadRsp}, value...)
+		} else {
+			rsp = []byte{attErrorRsp, attReadReq, req[1], req[2], attErrAttributeNotFound}
+		}
+	default:
+		rsp = []byte{attErrorRsp, req[0], 0, 0, 0x06} // request not supported
+	}
+	out, err := (&l2cap.Frame{CID: l2cap.CIDAttribute, Payload: rsp}).Marshal()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Central is the initiator side: it scans, connects with a CONN_IND and
+// reads attributes over the established link.
+type Central struct {
+	InitA [6]byte
+
+	state  ConnState
+	link   *bt.ConnInd
+	hop    *bt.ChSel1
+	ack    ackState
+	txq    [][]byte          // pending ATT requests, oldest first
+	values map[uint16][]byte // completed reads, keyed by handle
+	errs   []byte            // ATT error codes received, in order
+}
+
+// NewCentral builds a central in the standby state.
+func NewCentral(initA [6]byte) *Central {
+	return &Central{InitA: initA, values: make(map[uint16][]byte)}
+}
+
+// State reports the link-layer state.
+func (c *Central) State() ConnState { return c.state }
+
+// Connect builds the CONN_IND answering an ADV_IND and arms the
+// central's hop selector. The returned PDU is what goes on the air on
+// the advertising channel; pass aa/crcInit/chm/hop from the host.
+func (c *Central) Connect(adv *bt.Advertisement, aa, crcInit uint32, chm bt.LEChannelMap, hop byte) (*bt.ConnInd, error) {
+	if c.state == StateConnected {
+		return nil, fmt.Errorf("scan: central already connected")
+	}
+	if adv.PDUType != bt.AdvInd {
+		return nil, fmt.Errorf("scan: PDU type %#x is not connectable", int(adv.PDUType))
+	}
+	ci := &bt.ConnInd{
+		InitA:     c.InitA,
+		AdvA:      adv.AdvA,
+		AA:        aa,
+		CRCInit:   crcInit,
+		WinSize:   2,
+		WinOffset: 6,
+		Interval:  40,
+		Timeout:   300,
+		ChM:       chm,
+		Hop:       hop,
+		SCA:       1,
+	}
+	sel, err := bt.NewChSel1(hop, chm)
+	if err != nil {
+		return nil, err
+	}
+	c.link, c.hop = ci, sel
+	c.ack = ackState{}
+	c.txq = nil
+	c.state = StateConnected
+	return ci, nil
+}
+
+// Link returns the CONN_IND this central issued (nil before connect).
+func (c *Central) Link() *bt.ConnInd { return c.link }
+
+// NextChannel advances the hop selector by one connection event.
+func (c *Central) NextChannel() (int, error) {
+	if c.state != StateConnected {
+		return 0, fmt.Errorf("scan: central in state %v has no data channel", c.state)
+	}
+	return c.hop.Next(), nil
+}
+
+// QueueRead enqueues an ATT Read Request for a handle; it goes out on
+// the next connection event with no pending transmission.
+func (c *Central) QueueRead(handle uint16) error {
+	if c.state != StateConnected {
+		return fmt.Errorf("scan: read in state %v", c.state)
+	}
+	req := []byte{attReadReq, byte(handle), byte(handle >> 8)}
+	frame, err := (&l2cap.Frame{CID: l2cap.CIDAttribute, Payload: req}).Marshal()
+	if err != nil {
+		return err
+	}
+	c.txq = append(c.txq, frame)
+	return nil
+}
+
+// NextPDU returns the central's transmission for the next connection
+// event: the pending (or retransmitted) ATT request, else an empty-PDU
+// keepalive. The central transmits first in every event.
+func (c *Central) NextPDU() (*bt.DataPDU, error) {
+	if c.state != StateConnected {
+		return nil, fmt.Errorf("scan: data PDU in state %v", c.state)
+	}
+	if c.ack.lastTx != nil {
+		c.ack.lastTx.NESN = c.ack.nesn
+		return c.ack.lastTx, nil
+	}
+	if len(c.txq) > 0 {
+		return c.ack.stamp(&bt.DataPDU{LLID: bt.LLIDStart, Payload: c.txq[0]}, true), nil
+	}
+	return c.ack.stamp(bt.EmptyPDU(false, false), false), nil
+}
+
+// HandleSlave processes the peripheral's reply for the event, recording
+// any completed attribute read.
+func (c *Central) HandleSlave(slave *bt.DataPDU) error {
+	if c.state != StateConnected {
+		return fmt.Errorf("scan: data PDU in state %v", c.state)
+	}
+	// Capture the in-flight request's handle before the ack pops it:
+	// the same slave PDU can both acknowledge the request and carry its
+	// response.
+	pending := c.pendingReadHandle()
+	newData, ackedQ := c.ack.onRx(slave)
+	if ackedQ && len(c.txq) > 0 {
+		c.txq = c.txq[1:]
+	}
+	if !newData || slave.Empty() || slave.LLID != bt.LLIDStart {
+		return nil
+	}
+	frame, err := l2cap.Unmarshal(slave.Payload)
+	if err != nil || frame.CID != l2cap.CIDAttribute || len(frame.Payload) == 0 {
+		return nil
+	}
+	switch frame.Payload[0] {
+	case attReadRsp:
+		if pending != nil {
+			c.values[*pending] = append([]byte{}, frame.Payload[1:]...)
+		}
+	case attErrorRsp:
+		if len(frame.Payload) == 5 {
+			c.errs = append(c.errs, frame.Payload[4])
+		}
+	}
+	return nil
+}
+
+// pendingReadHandle extracts the handle of the oldest in-flight read
+// request (the one a Read Response answers).
+func (c *Central) pendingReadHandle() *uint16 {
+	if len(c.txq) == 0 {
+		return nil
+	}
+	frame, err := l2cap.Unmarshal(c.txq[0])
+	if err != nil || len(frame.Payload) != 3 || frame.Payload[0] != attReadReq {
+		return nil
+	}
+	h := binary.LittleEndian.Uint16(frame.Payload[1:])
+	return &h
+}
+
+// Value returns the last value read for a handle.
+func (c *Central) Value(handle uint16) ([]byte, bool) {
+	v, ok := c.values[handle]
+	return v, ok
+}
+
+// Errors returns the ATT error codes received so far.
+func (c *Central) Errors() []byte { return c.errs }

@@ -1,0 +1,238 @@
+package scan
+
+import (
+	"bytes"
+	"testing"
+
+	"bluefi/internal/bt"
+)
+
+func testLink(t *testing.T) (*Peripheral, *Central, *bt.ConnInd) {
+	t.Helper()
+	attrs := &AttributeServer{}
+	attrs.Set(0x0003, []byte("BlueFi"))
+	attrs.Set(0x002A, []byte{0xB1, 0xF1})
+	p := NewPeripheral([6]byte{0xBF, 1, 2, 3, 4, 5}, []byte{0x02, 0x01, 0x06}, attrs)
+	c := NewCentral([6]byte{0xC0, 9, 8, 7, 6, 5})
+
+	adv, err := p.Advertise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chm, err := bt.NewLEChannelMap(bt.LEDataChannelsInWiFiBand(2422, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := c.Connect(adv, 0x50655535, 0xA1B2C3, chm, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.HandleConnInd(ci); err != nil {
+		t.Fatal(err)
+	}
+	return p, c, ci
+}
+
+// event runs one connection event at the bit level: both sides pick
+// their channel (must agree), the central's PDU crosses the air as
+// whitened+CRC'd bits, the peripheral replies the same way.
+func event(t *testing.T, p *Peripheral, c *Central, ci *bt.ConnInd) {
+	t.Helper()
+	chC, err := c.NextChannel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chP, err := p.NextChannel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chC != chP {
+		t.Fatalf("hop selectors diverged: central %d, peripheral %d", chC, chP)
+	}
+	tx, err := c.NextPDU()
+	if err != nil {
+		t.Fatal(err)
+	}
+	air, err := tx.AirBits(ci.AA, chC, ci.CRCInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, ok := bt.DecodeDataPDU(air[40:], chC, ci.CRCInit)
+	if !ok {
+		t.Fatal("central PDU failed CRC on a perfect link")
+	}
+	rsp, err := p.HandleEvent(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rspAir, err := rsp.AirBits(ci.AA, chC, ci.CRCInit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxRsp, ok := bt.DecodeDataPDU(rspAir[40:], chC, ci.CRCInit)
+	if !ok {
+		t.Fatal("peripheral PDU failed CRC on a perfect link")
+	}
+	if err := c.HandleSlave(rxRsp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnectionAttributeRead(t *testing.T) {
+	p, c, ci := testLink(t)
+	if p.State() != StateConnected || c.State() != StateConnected {
+		t.Fatalf("states after CONN_IND: peripheral %v, central %v", p.State(), c.State())
+	}
+	// A few empty keepalive events first — the link idles.
+	for i := 0; i < 3; i++ {
+		event(t, p, c, ci)
+	}
+	if err := c.QueueRead(0x0003); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.QueueRead(0x002A); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		event(t, p, c, ci)
+	}
+	if v, ok := c.Value(0x0003); !ok || !bytes.Equal(v, []byte("BlueFi")) {
+		t.Fatalf("handle 0x0003 read %q, %v", v, ok)
+	}
+	if v, ok := c.Value(0x002A); !ok || !bytes.Equal(v, []byte{0xB1, 0xF1}) {
+		t.Fatalf("handle 0x002A read %x, %v", v, ok)
+	}
+	if len(c.Errors()) != 0 {
+		t.Fatalf("unexpected ATT errors: %x", c.Errors())
+	}
+}
+
+func TestConnectionUnknownHandle(t *testing.T) {
+	p, c, ci := testLink(t)
+	if err := c.QueueRead(0x7777); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		event(t, p, c, ci)
+	}
+	if _, ok := c.Value(0x7777); ok {
+		t.Fatal("read of a missing handle returned a value")
+	}
+	errs := c.Errors()
+	if len(errs) != 1 || errs[0] != attErrAttributeNotFound {
+		t.Fatalf("expected one attribute-not-found error, got %x", errs)
+	}
+}
+
+// TestConnectionRetransmission drops the peripheral's reply once: the
+// central must retransmit (same SN), the peripheral must treat the copy
+// as stale and resend its response, and the read still completes.
+func TestConnectionRetransmission(t *testing.T) {
+	p, c, _ := testLink(t)
+	if err := c.QueueRead(0x0003); err != nil {
+		t.Fatal(err)
+	}
+	dropNext := true
+	for i := 0; i < 8; i++ {
+		chC, _ := c.NextChannel()
+		chP, _ := p.NextChannel()
+		if chC != chP {
+			t.Fatalf("hop selectors diverged on event %d", i)
+		}
+		tx, err := c.NextPDU()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rsp, err := p.HandleEvent(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rsp.Empty() && dropNext {
+			dropNext = false // reply lost in the air — central hears nothing
+			continue
+		}
+		if err := c.HandleSlave(rsp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, ok := c.Value(0x0003); !ok || !bytes.Equal(v, []byte("BlueFi")) {
+		t.Fatalf("read did not survive a dropped reply: %q, %v", v, ok)
+	}
+}
+
+func TestConnIndOverAdvertisingChannel(t *testing.T) {
+	// The CONN_IND itself must survive the advertising air interface:
+	// pack, whiten, CRC, decode, parse, accept.
+	p, c, _ := testLink(t)
+	_ = p
+	ci := c.Link()
+	air, err := ci.AirBits(37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, ok := bt.DecodeAdvertisement(air[40:], 37)
+	if !ok {
+		t.Fatal("CONN_IND failed the advertising CRC")
+	}
+	parsed, err := bt.ParseConnInd(adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *parsed != *ci {
+		t.Fatalf("CONN_IND corrupted over the air:\n got %+v\nwant %+v", parsed, ci)
+	}
+	p2 := NewPeripheral([6]byte{0xBF, 1, 2, 3, 4, 5}, nil, nil)
+	if err := p2.HandleConnInd(parsed); err != nil {
+		t.Fatal(err)
+	}
+	if p2.State() != StateConnected {
+		t.Fatal("peripheral did not connect from the decoded CONN_IND")
+	}
+}
+
+func TestPeripheralRejectsForeignConnInd(t *testing.T) {
+	p := NewPeripheral([6]byte{0xBF, 1, 2, 3, 4, 5}, nil, nil)
+	c := NewCentral([6]byte{0xC0, 9, 8, 7, 6, 5})
+	chm, err := bt.NewLEChannelMap([]int{9, 10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, err := c.Connect(&bt.Advertisement{PDUType: bt.AdvInd, AdvA: [6]byte{0xEE, 0, 0, 0, 0, 1}}, 0x12345678, 0x111111, chm, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.HandleConnInd(ci); err == nil {
+		t.Fatal("accepted a CONN_IND addressed to another peripheral")
+	}
+	if p.State() == StateConnected {
+		t.Fatal("state advanced on a rejected CONN_IND")
+	}
+}
+
+func TestCentralRejectsNonConnectable(t *testing.T) {
+	c := NewCentral([6]byte{0xC0, 9, 8, 7, 6, 5})
+	chm, err := bt.NewLEChannelMap([]int{9, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := &bt.Advertisement{PDUType: bt.AdvNonconnInd, AdvA: [6]byte{0xBF, 1, 2, 3, 4, 5}}
+	if _, err := c.Connect(adv, 0x12345678, 0x111111, chm, 5); err == nil {
+		t.Fatal("connected to ADV_NONCONN_IND")
+	}
+}
+
+func TestAttributeServer(t *testing.T) {
+	a := &AttributeServer{}
+	a.Set(5, []byte("five"))
+	a.Set(1, []byte("one"))
+	a.Set(3, []byte("three"))
+	a.Set(3, []byte("replaced"))
+	for h, want := range map[uint16]string{1: "one", 3: "replaced", 5: "five"} {
+		if v, ok := a.Read(h); !ok || string(v) != want {
+			t.Errorf("Read(%d) = %q, %v", h, v, ok)
+		}
+	}
+	if _, ok := a.Read(2); ok {
+		t.Error("Read(2) found a value")
+	}
+}

@@ -1,0 +1,66 @@
+package scan
+
+import (
+	"math"
+	"testing"
+
+	"bluefi/internal/btrx"
+)
+
+// FuzzScanIngest throws hostile captures at the scanner: arbitrary IQ,
+// arbitrary kinds and channels, with and without a followed connection.
+// The scanner must never panic — malformed captures surface as
+// Outcome.Err, garbage IQ as undetected/undecoded outcomes.
+func FuzzScanIngest(f *testing.F) {
+	f.Add([]byte{}, 0, 38, int64(1), false)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 1, 9, int64(2), true)
+	f.Add(make([]byte, 2048), 2, 0, int64(3), false)
+	f.Add([]byte{0xFF, 0x00, 0x80, 0x7F}, 3, 100, int64(4), true)
+	f.Add([]byte{9, 9, 9}, 99, -5, int64(5), false)
+
+	f.Fuzz(func(t *testing.T, data []byte, kind, ch int, seed int64, follow bool) {
+		if len(data) > 1<<15 {
+			data = data[:1<<15]
+		}
+		iq := make([]complex128, len(data)/2)
+		for i := range iq {
+			re := (float64(data[2*i]) - 127.5) / 16
+			im := (float64(data[2*i+1]) - 127.5) / 16
+			if data[2*i]%23 == 0 {
+				re = math.Inf(1)
+			}
+			if data[2*i+1]%29 == 0 {
+				im = math.NaN()
+			}
+			iq[i] = complex(re, im)
+		}
+		s := NewScanner(Config{Profile: btrx.Pixel, Seed: seed})
+		if follow {
+			s.Follow(0x50655535, 0xA1B2C3)
+		}
+		cap1 := Capture{Kind: Kind(kind % 6), Channel: ch, OffsetHz: float64(ch) * 1e5, IQ: iq}
+		out := s.Ingest(cap1)
+		if out.Err == nil && out.Decoded && !out.Detected {
+			t.Fatal("decoded without detecting")
+		}
+		// The same capture through the parallel path must agree with the
+		// serial one (fresh scanner, same seed).
+		s2 := NewScanner(Config{Profile: btrx.Pixel, Seed: seed})
+		if follow {
+			s2.Follow(0x50655535, 0xA1B2C3)
+		}
+		outs := s2.SweepParallel([]Capture{cap1})
+		if len(outs) != 1 {
+			t.Fatal("sweep lost a capture")
+		}
+		rssiSame := outs[0].RSSIdBm == out.RSSIdBm ||
+			(math.IsNaN(outs[0].RSSIdBm) && math.IsNaN(out.RSSIdBm))
+		if outs[0].Detected != out.Detected || outs[0].Decoded != out.Decoded || !rssiSame {
+			t.Fatalf("parallel outcome diverged: %+v vs %+v", outs[0], out)
+		}
+		snap := s.Snapshot()
+		if snap.Captures != 1 {
+			t.Fatalf("Captures = %d after one ingest", snap.Captures)
+		}
+	})
+}

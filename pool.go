@@ -34,9 +34,10 @@ type Pool struct {
 	q    *jobQueue
 	opts Options
 
-	mu     sync.Mutex
-	closed bool // guarded by mu
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool          // guarded by mu
+	drained chan struct{} // created by the first Shutdown, guarded by mu
+	wg      sync.WaitGroup
 
 	// inj is the pool-level fault injector (nil without Options.Faults):
 	// worker panics and job latency inflation fire here, on the worker
@@ -499,30 +500,34 @@ func (p *Pool) isClosed() bool {
 
 // Close drains the pool and stops the workers: queued and in-flight
 // jobs finish first. Jobs submitted after Close fail with ErrPoolClosed.
-// Calling Close (or Shutdown) twice panics — a double close is a
-// caller-side lifecycle bug, the one condition the hardened pool still
-// treats as programmer error.
+// Close and Shutdown are idempotent: later calls simply wait for the
+// drain the first call started, so `defer pool.Close()` composes with
+// an explicit Shutdown on the happy path.
 func (p *Pool) Close() { _ = p.Shutdown(context.Background()) }
 
 // Shutdown is Close with a deadline: it drains queued and in-flight
 // jobs until ctx expires, then fails still-queued jobs with
 // ErrPoolClosed and returns ctx.Err(). In-flight jobs cannot be
 // interrupted (synthesis is CPU-bound); their workers exit as soon as
-// they finish. A nil error means the pool drained completely.
+// they finish. A nil error means the pool drained completely. Repeated
+// calls share the first call's drain and observe the same contract.
 func (p *Pool) Shutdown(ctx context.Context) error {
 	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		panic("bluefi: Pool closed twice")
-	}
+	first := !p.closed
 	p.closed = true
+	if first {
+		p.drained = make(chan struct{})
+		drained := p.drained
+		go func() {
+			p.wg.Wait()
+			close(drained)
+		}()
+	}
+	drained := p.drained
 	p.mu.Unlock()
-	p.q.close()
-	drained := make(chan struct{})
-	go func() {
-		p.wg.Wait()
-		close(drained)
-	}()
+	if first {
+		p.q.close()
+	}
 	select {
 	case <-drained:
 		return nil
