@@ -2,14 +2,45 @@
 .PHONY: verify
 verify: vet build test lint
 
-# Invariant lint tier: one binary runs the four BlueFi analyzers
-# (determinism, poolbalance, lockcheck, scratchalias) plus the std vet
-# passes the repo cares about (copylocks, loopclosure, atomicassign,
-# nilness). Non-zero exit on any finding. See DESIGN.md §7 for the
+# Invariant lint tier: one binary runs the seven BlueFi analyzers
+# (determinism, poolbalance, lockcheck, scratchalias, alloccheck,
+# leakcheck, obsnames) plus the std vet passes the repo cares about
+# (copylocks, loopclosure, atomicassign, nilness). Non-zero exit on any
+# finding not recorded in lint_baseline.json. The binary is built once
+# into .bin/ and per-package results are cached in .lintcache/, so a
+# no-change re-run costs milliseconds. See DESIGN.md §7 and §11 for the
 # annotations the analyzers understand.
 .PHONY: lint
-lint:
-	go run ./cmd/bluefi-lint ./...
+lint: .bin/bluefi-lint
+	.bin/bluefi-lint -cache -baseline lint_baseline.json ./...
+
+.bin/bluefi-lint: FORCE
+	@mkdir -p .bin
+	go build -o .bin/bluefi-lint ./cmd/bluefi-lint
+
+.PHONY: FORCE
+FORCE:
+
+# Machine-readable lint report: every finding (pre-baseline) as a JSON
+# array in lint_report.json — the CI artifact reviewers diff against
+# lint_baseline.json.
+.PHONY: lint-json
+lint-json: .bin/bluefi-lint
+	-.bin/bluefi-lint -json ./... > lint_report.json
+	@wc -c lint_report.json
+
+# Refresh the accepted-findings baseline after an intentional change;
+# review the diff like any other code.
+.PHONY: lint-baseline
+lint-baseline: .bin/bluefi-lint
+	.bin/bluefi-lint -write-baseline lint_baseline.json ./...
+
+# Escape-corroborated allocation audit: alloccheck findings the
+# compiler's own escape analysis (-gcflags=-m) proves non-escaping are
+# downgraded. Slower (full recompile); advisory, not a CI gate.
+.PHONY: lint-escape
+lint-escape: .bin/bluefi-lint
+	.bin/bluefi-lint -escape -run alloccheck ./...
 
 .PHONY: vet
 vet:
@@ -78,3 +109,10 @@ bench:
 .PHONY: obs-overhead
 obs-overhead:
 	go run ./cmd/bluefi-eval -obs-overhead
+
+# Allocation regression gate: §4.8 real-time 1-slot allocs/op may
+# exceed the committed BENCH_eval.json row by at most 5% — the runtime
+# counterpart of alloccheck's static //bluefi:allocfree contract.
+.PHONY: alloc-gate
+alloc-gate:
+	go run ./cmd/bluefi-eval -alloc-gate

@@ -250,6 +250,53 @@ func stageBreakdown(iterations int) ([]stageRow, error) {
 	return rows, nil
 }
 
+// allocGateTolerance is how far sec48 allocs/op may drift above the
+// committed BENCH_eval.json snapshot before the gate fails.
+const allocGateTolerance = 1.05
+
+// runAllocGate re-measures the §4.8 real-time 1-slot scenario and fails
+// when its allocs/op exceeds the committed snapshot's
+// "sec48/realtime-1slot-cpu1" row by more than 5% — the regression gate
+// behind the //bluefi:allocfree hot-path contract. Improvements print a
+// reminder to re-snapshot but do not fail.
+func runAllocGate(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("reading snapshot: %w (run `make bench-json` to create it)", err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	const row = "sec48/realtime-1slot-cpu1"
+	var committed int64 = -1
+	for _, r := range snap.Results {
+		if r.Name == row {
+			committed = r.AllocsPerOp
+		}
+	}
+	if committed < 0 {
+		return fmt.Errorf("%s has no %q row", path, row)
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	r := testing.Benchmark(sec48Bench(core.RealTime, 17, bt.DM1, false))
+	got := r.AllocsPerOp()
+	limit := int64(float64(committed) * allocGateTolerance)
+	fmt.Printf("alloc-gate: %s measured %d allocs/op, snapshot %d (limit %d)\n",
+		row, got, committed, limit)
+	if got > limit {
+		return fmt.Errorf("allocs/op regressed: %d > %d (snapshot %d +5%%); fix the regression or re-snapshot with `make bench-json` and justify the diff",
+			got, limit, committed)
+	}
+	if got < committed*95/100 {
+		fmt.Printf("alloc-gate: improvement detected (%d → %d); consider re-snapshotting with `make bench-json`\n",
+			committed, got)
+	}
+	return nil
+}
+
 // runBenchJSON executes the suite at GOMAXPROCS 1 and 4 (the -cpu 1,4
 // comparison: serial baseline versus the concurrency layer) and writes
 // the snapshot.

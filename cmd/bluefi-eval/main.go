@@ -8,6 +8,7 @@
 //	bluefi-eval -bench-json            # BENCH_eval.json regression snapshot
 //	bluefi-eval -serve :8399           # live /metrics + /health over a synthesis workload
 //	bluefi-eval -obs-overhead          # telemetry overhead gate (CI)
+//	bluefi-eval -alloc-gate            # §4.8 allocs/op regression gate vs BENCH_eval.json (CI)
 //	bluefi-eval -faults storm          # chaos scenario → degradation report
 //	bluefi-eval -e2e                   # TX→RX conformance matrix → scanner PDR snapshot
 package main
@@ -32,7 +33,16 @@ func main() {
 	obsOverhead := flag.Bool("obs-overhead", false, "measure telemetry overhead on BenchmarkSynthesize and fail if attached/disabled ns/op exceeds 1.05")
 	faultsScenario := flag.String("faults", "", "run a chaos scenario (panics, latency, interference, storm) and append its degradation report to -bench-out")
 	e2e := flag.Bool("e2e", false, "run the loopback conformance matrix (BLE/BR/EDR through channel and scanner) and append the scanner PDR snapshot to -bench-out")
+	allocGate := flag.Bool("alloc-gate", false, "re-measure §4.8 real-time allocs/op and fail if it exceeds the committed -bench-out snapshot by more than 5%")
 	flag.Parse()
+
+	if *allocGate {
+		if err := runAllocGate(*benchOut); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: alloc-gate: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *e2e {
 		if err := runE2E(*benchOut, *n); err != nil {

@@ -62,6 +62,7 @@ func runServe(addr string, workers int) error {
 		}{stream.Health().String(), stream.Report()})
 	})
 
+	//bluefi:goroutine live-workload generator behind -serve; runs for the process lifetime and dies with it
 	go serveWorkload(pool, stream, timingsNS)
 	return http.Serve(ln, mux)
 }

@@ -1,0 +1,19 @@
+package alloccheck_test
+
+import (
+	"testing"
+
+	"bluefi/internal/analysis/alloccheck"
+	"bluefi/internal/analysis/analysistest"
+)
+
+// TestAlloccheck covers every allocation-site category inside annotated
+// functions, the transitive same-package and cross-package summaries
+// (bluefi/internal/hotkern → bluefi/internal/hotdep), trusted annotated
+// callees, both suppression paths, and the clean kernels that must stay
+// silent. hotdep runs as its own target too: unannotated functions
+// allocate without findings.
+func TestAlloccheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), alloccheck.Analyzer,
+		"bluefi/internal/hotkern", "bluefi/internal/hotdep")
+}

@@ -4,16 +4,22 @@
 // golden PSDU vectors and the parallel-equals-serial guarantees of the
 // rehearsal search stop meaning anything.
 //
-// Two strictness tiers, selected by import path:
+// Two strictness tiers, selected by a package-level annotation:
 //
-//   - Strict — packages whose path ends in internal/{core, wifi, dsp,
-//     gfsk, bits, viterbi, faults}. Any use of math/rand (even seeded),
-//     any wall-clock read (time.Now/Since/Until), ranging over a map,
-//     and multi-case select statements are diagnosed: none of those
-//     belong in a deterministic transform. internal/faults is strict by
-//     contract, not exempt like obs: the fault injector promises
-//     bit-identical replay from a seed, so its decisions must come from
-//     counter hashes, never from a clock or a shared rand source.
+//   - Strict — packages that carry `//bluefi:strict` in a comment
+//     above their package clause (the deterministic synthesis chain:
+//     internal/{core, wifi, dsp, gfsk, bits, viterbi, faults, scan}).
+//     Any use of math/rand (even seeded), any wall-clock read
+//     (time.Now/Since/Until), ranging over a map, and multi-case
+//     select statements are diagnosed: none of those belong in a
+//     deterministic transform. internal/faults is strict by contract,
+//     not exempt like obs: the fault injector promises bit-identical
+//     replay from a seed, so its decisions must come from counter
+//     hashes, never from a clock or a shared rand source. The
+//     annotation replaced a hand-edited path list in the analyzer
+//     itself, which had to grow a new entry every time a PR added a
+//     deterministic package; now the package opts in where its
+//     contract is documented.
 //
 //   - Lax — every other package (channel/airtime/eval simulate noise,
 //     commands print reports). Only genuinely nondeterministic sources
@@ -50,11 +56,6 @@ var Analyzer = &framework.Analyzer{
 	Run:         run,
 }
 
-// strictPkgRe matches the deterministic synthesis packages by path
-// suffix, so analysistest fixtures named like real packages get the
-// same treatment.
-var strictPkgRe = regexp.MustCompile(`(^|/)internal/(core|wifi|dsp|gfsk|bits|viterbi|faults|scan)$`)
-
 // obsPkgRe matches the telemetry package, which is exempt from the
 // wall-clock diagnostics entirely: timing is its purpose (see the
 // package doc above).
@@ -68,7 +69,7 @@ func run(pass *framework.Pass) error {
 	if obsPkgRe.MatchString(pass.Pkg.Path()) {
 		return nil
 	}
-	strict := strictPkgRe.MatchString(pass.Pkg.Path())
+	_, strict := framework.PackageAnnotation(pass.Files, "strict")
 	for _, f := range pass.Files {
 		if strict {
 			for _, imp := range f.Imports {

@@ -8,14 +8,23 @@ import (
 )
 
 // TestDeterminism covers both tiers plus the telemetry exemption: the
-// strict fixtures' import paths end in internal/core and internal/faults
-// (the fault injector is strict by contract — seed-driven replay), the
-// lax fixture simulates noise, and the internal/obs fixture reads the
-// clock freely without any suppressions. Every diagnostic message and
-// both suppression paths (reasoned, reasonless) have expectations in the
+// strict fixtures carry the //bluefi:strict package annotation (the
+// fault injector is strict by contract — seed-driven replay), the lax
+// fixture simulates noise, and the internal/obs fixture reads the clock
+// freely without any suppressions. Every diagnostic message and both
+// suppression paths (reasoned, reasonless) have expectations in the
 // fixtures.
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
 		"bluefi/internal/core", "sim/noise", "bluefi/internal/obs",
 		"bluefi/internal/faults")
+}
+
+// TestStrictAnnotationMigration is the migration fixture for the move
+// off the analyzer's hand-edited strict package list: two packages with
+// identical code, where only the one carrying //bluefi:strict above its
+// package clause gets the strict tier.
+func TestStrictAnnotationMigration(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
+		"strictmig/annotated", "strictmig/legacy")
 }

@@ -41,6 +41,21 @@ type Analyzer struct {
 	Run func(pass *Pass) error
 }
 
+// A Module is the whole-module context shared by every pass of one lint
+// run: all type-checked packages keyed by import path. Cross-package
+// analyzers (alloccheck's transitive call-graph summaries) use it to
+// find function bodies in other module packages; per-package analyzers
+// ignore it. Pkgs only holds packages loaded from source — stdlib and
+// other export-data-only dependencies are absent by design.
+type Module struct {
+	// Path is the module path from go.mod (e.g. "bluefi").
+	Path string
+	// Dir is the directory holding go.mod.
+	Dir string
+	// Pkgs maps import path to the loaded package.
+	Pkgs map[string]*Package
+}
+
 // A Pass provides one analyzer with one type-checked package.
 type Pass struct {
 	Analyzer  *Analyzer
@@ -48,20 +63,46 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Module is the whole-module context, or nil when the driver runs
+	// a single package in isolation.
+	Module *Module
 
 	diags       *[]Diagnostic
 	suppression map[string]map[int]*suppressComment // filename -> line
 }
 
 // A Diagnostic is one finding, tagged with the analyzer that made it.
+// The JSON shape is the -json / lint_baseline.json interchange format;
+// File is module-relative where the driver knows the module root.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Analyzer string         `json:"analyzer"`
+	Message  string         `json:"message"`
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+}
+
+// Key is the identity used for baseline matching: analyzer + file +
+// message, deliberately excluding line/column so unrelated edits above
+// a baselined finding do not resurrect it.
+func (d Diagnostic) Key() string {
+	return d.Analyzer + "\x00" + d.File + "\x00" + d.Message
+}
+
+func makeDiagnostic(pos token.Position, analyzer, message string) Diagnostic {
+	return Diagnostic{
+		Pos:      pos,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Column:   pos.Column,
+		Analyzer: analyzer,
+		Message:  message,
+	}
 }
 
 type suppressComment struct {
@@ -122,20 +163,13 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 			}
 			if !sc.reported {
 				sc.reported = true
-				*p.diags = append(*p.diags, Diagnostic{
-					Pos:      p.Fset.Position(sc.pos),
-					Analyzer: p.Analyzer.Name,
-					Message:  fmt.Sprintf("suppression //bluefi:%s needs a reason", key),
-				})
+				*p.diags = append(*p.diags, makeDiagnostic(p.Fset.Position(sc.pos), p.Analyzer.Name,
+					fmt.Sprintf("suppression //bluefi:%s needs a reason", key)))
 			}
 			// Fall through: a reasonless suppression suppresses nothing.
 		}
 	}
-	*p.diags = append(*p.diags, Diagnostic{
-		Pos:      position,
-		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
-	})
+	*p.diags = append(*p.diags, makeDiagnostic(position, p.Analyzer.Name, fmt.Sprintf(format, args...)))
 }
 
 func (p *Pass) suppressionFor(pos token.Position) *suppressComment {
@@ -150,8 +184,9 @@ func (p *Pass) suppressionFor(pos token.Position) *suppressComment {
 }
 
 // Run applies the analyzers to one loaded package and returns the
-// diagnostics sorted by position.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// diagnostics sorted by position. mod may be nil for single-package
+// runs; cross-package analyzers then see only the pass's own files.
+func Run(mod *Module, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	idx := indexSuppressions(pkg.Fset, pkg.Files)
 	for _, a := range analyzers {
@@ -161,6 +196,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:       pkg.Files,
 			Pkg:         pkg.Types,
 			TypesInfo:   pkg.Info,
+			Module:      mod,
 			diags:       &diags,
 			suppression: idx,
 		}
@@ -168,10 +204,17 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 		}
 	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer — the
+// stable order the driver prints and the cache stores.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
-		a, b := diags[i].Pos, diags[j].Pos
-		if a.Filename != b.Filename {
-			return a.Filename < b.Filename
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
 		}
 		if a.Line != b.Line {
 			return a.Line < b.Line
@@ -179,7 +222,40 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
+		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+}
+
+// PackageAnnotation scans the files' package doc comments (and any
+// comment group directly above the package clause) for a
+// `//bluefi:<key> <reason>` line and returns the trimmed reason. The
+// second result distinguishes an absent annotation from a reasonless
+// one. Package-level annotations (like //bluefi:strict) declare a
+// contract for the whole package, as opposed to the line-scoped
+// suppressions Reportf honours.
+func PackageAnnotation(files []*ast.File, key string) (reason string, ok bool) {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			// Only comment groups that end before the package clause can
+			// be package-level: annotations inside function bodies must
+			// not promote the whole package.
+			if cg.End() >= f.Package {
+				continue
+			}
+			for _, c := range cg.List {
+				// Directive position: the annotation must BE the comment
+				// (//bluefi:... at column 0 of the comment text), so prose
+				// that merely mentions an annotation does not activate it.
+				if !strings.HasPrefix(c.Text, "//bluefi:") {
+					continue
+				}
+				m := suppressRe.FindStringSubmatch(c.Text)
+				if m == nil || m[1] != key {
+					continue
+				}
+				return strings.TrimSpace(m[2]), true
+			}
+		}
+	}
+	return "", false
 }

@@ -46,8 +46,10 @@ type Loader struct {
 
 	fset    *token.FileSet
 	exports map[string]string // import path -> export data file
+	listed  map[string]listedPkg
 	gcImp   types.ImporterFrom
 	srcPkgs map[string]*types.Package // typechecked fixture packages
+	srcFull map[string]*Package       // same, with files + info retained
 }
 
 // NewLoader returns a Loader rooted at the go.mod directory above dir.
@@ -60,10 +62,36 @@ func NewLoader(dir string) (*Loader, error) {
 		ModuleDir: moduleDir,
 		fset:      token.NewFileSet(),
 		exports:   make(map[string]string),
+		listed:    make(map[string]listedPkg),
 		srcPkgs:   make(map[string]*types.Package),
+		srcFull:   make(map[string]*Package),
 	}
 	l.gcImp = importer.ForCompiler(l.fset, "gc", l.lookupExport).(types.ImporterFrom)
 	return l, nil
+}
+
+// ModulePath reads the module path from go.mod, so analyzers can tell
+// module-internal packages (whose source the Module context holds) from
+// external ones.
+func (l *Loader) ModulePath() string {
+	data, err := os.ReadFile(filepath.Join(l.ModuleDir, "go.mod"))
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// SourcePackages returns every fixture package type-checked from source
+// under SrcRoot so far, keyed by import path. analysistest folds these
+// into the Module context handed to cross-package analyzers.
+func (l *Loader) SourcePackages() map[string]*Package {
+	return l.srcFull
 }
 
 func findModuleDir(dir string) (string, error) {
@@ -91,12 +119,17 @@ func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
 	return os.Open(f)
 }
 
-// listedPkg is the subset of `go list -json` we consume.
+// listedPkg is the subset of `go list -json` we consume. Deps (the
+// transitive import paths) feed the lint result cache: a package's
+// cached diagnostics are valid only while its own sources, every
+// module-internal dependency's sources and every stdlib dependency's
+// export data are unchanged.
 type listedPkg struct {
 	ImportPath string
 	Dir        string
 	Export     string
 	GoFiles    []string
+	Deps       []string
 	DepOnly    bool
 	Standard   bool
 }
@@ -107,7 +140,7 @@ type listedPkg struct {
 func (l *Loader) goList(patterns ...string) ([]listedPkg, error) {
 	args := append([]string{
 		"list", "-export",
-		"-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard",
+		"-json=ImportPath,Dir,Export,GoFiles,Deps,DepOnly,Standard",
 		"-deps", "--",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -130,6 +163,7 @@ func (l *Loader) goList(patterns ...string) ([]listedPkg, error) {
 		if p.Export != "" {
 			l.exports[p.ImportPath] = p.Export
 		}
+		l.listed[p.ImportPath] = p
 		if !p.DepOnly {
 			targets = append(targets, p)
 		}
@@ -137,28 +171,48 @@ func (l *Loader) goList(patterns ...string) ([]listedPkg, error) {
 	return targets, nil
 }
 
-// LoadPackages type-checks every non-stdlib package matched by the
-// go list patterns (e.g. "./..."), from source, in deterministic order.
-func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
+// List resolves the go list patterns to target packages (with export
+// data for every dependency merged into the loader) in deterministic
+// order, without type-checking anything yet. The driver uses the
+// listing to consult its result cache before paying for a check.
+func (l *Loader) List(patterns ...string) ([]listedPkg, error) {
 	targets, err := l.goList(patterns...)
 	if err != nil {
 		return nil, err
 	}
 	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	return targets, nil
+}
+
+// CheckListed type-checks one listed target from source. Standard and
+// file-less packages yield (nil, nil).
+func (l *Loader) CheckListed(t listedPkg) (*Package, error) {
+	if t.Standard || len(t.GoFiles) == 0 {
+		return nil, nil
+	}
+	var filenames []string
+	for _, g := range t.GoFiles {
+		filenames = append(filenames, filepath.Join(t.Dir, g))
+	}
+	return l.check(t.ImportPath, filenames)
+}
+
+// LoadPackages type-checks every non-stdlib package matched by the
+// go list patterns (e.g. "./..."), from source, in deterministic order.
+func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
+	targets, err := l.List(patterns...)
+	if err != nil {
+		return nil, err
+	}
 	var pkgs []*Package
 	for _, t := range targets {
-		if t.Standard || len(t.GoFiles) == 0 {
-			continue
-		}
-		var filenames []string
-		for _, g := range t.GoFiles {
-			filenames = append(filenames, filepath.Join(t.Dir, g))
-		}
-		pkg, err := l.check(t.ImportPath, filenames)
+		pkg, err := l.CheckListed(t)
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
 	}
 	return pkgs, nil
 }
@@ -250,6 +304,7 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 				return nil, err
 			}
 			l.srcPkgs[path] = pkg.Types
+			l.srcFull[path] = pkg
 			return pkg.Types, nil
 		}
 	}

@@ -1,0 +1,18 @@
+package leakcheck_test
+
+import (
+	"testing"
+
+	"bluefi/internal/analysis/analysistest"
+	"bluefi/internal/analysis/leakcheck"
+)
+
+// TestLeakcheck covers every launch shape: the provable shutdown edges
+// (straight-line bodies, bounded loops, channel ranges, ctx.Done select
+// arms, sentinel pops, labeled breaks, named same-package workers), the
+// fire-and-forget diagnostics (no-exit loops, select-scoped breaks,
+// function-value and out-of-package launches), and both suppression
+// paths.
+func TestLeakcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), leakcheck.Analyzer, "leakfix")
+}

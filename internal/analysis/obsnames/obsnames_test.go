@@ -1,0 +1,19 @@
+package obsnames_test
+
+import (
+	"testing"
+
+	"bluefi/internal/analysis/analysistest"
+	"bluefi/internal/analysis/obsnames"
+)
+
+// TestObsnames covers the DESIGN §8 naming scheme end to end against
+// the obs registry stub: conforming registrations stay silent; dynamic
+// names, scheme violations, wrong subsystem segments, kind/unit-suffix
+// mismatches, the label-cardinality ceiling, dynamic label keys, span
+// taxonomy violations and both suppression paths all diagnose. The
+// internal/obs stub itself is exempt (the registry's own code).
+func TestObsnames(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), obsnames.Analyzer,
+		"bluefi/internal/beacon", "bluefi/internal/obs")
+}

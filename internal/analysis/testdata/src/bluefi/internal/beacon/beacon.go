@@ -1,0 +1,55 @@
+// Package beacon is the obsnames fixture: an internal/<pkg> package
+// registering metrics and spans against the obs stub. Conforming names
+// stay silent; every naming-scheme violation, the unit-suffix rules,
+// the label-cardinality ceiling and both suppression paths diagnose.
+package beacon
+
+import (
+	"context"
+
+	"bluefi/internal/obs"
+)
+
+func conforming(r *obs.Registry, ctx context.Context) {
+	r.Counter("bluefi_beacon_frames_total", "frames emitted")
+	r.Gauge("bluefi_beacon_queue_depth", "frames queued")
+	r.Histogram("bluefi_beacon_slot_seconds", "slot latency", []float64{0.1, 1},
+		obs.L("channel", "37"), obs.L("kind", "adv"))
+	obs.StartSpan(ctx, "beacon.emit", obs.L("channel", "37"))
+}
+
+func badNames(r *obs.Registry, name string) {
+	r.Counter(name, "dynamic")                    // want `Counter name must be a compile-time constant`
+	r.Counter("beaconFrames_total", "camel")      // want `metric name "beaconFrames_total" does not match bluefi_<subsystem>_<noun>\[_<unit>\]`
+	r.Counter("bluefi_total", "too few segments") // want `metric name "bluefi_total" does not match`
+	r.Counter("bluefi_pool_frames_total", "off")  // want `metric name "bluefi_pool_frames_total" registered in internal/beacon must use subsystem segment "beacon", not "pool"`
+}
+
+func badKinds(r *obs.Registry) {
+	r.Counter("bluefi_beacon_frames", "no _total")            // want `counter "bluefi_beacon_frames" must end in _total`
+	r.Gauge("bluefi_beacon_frames_total", "gauge as counter") // want `gauge "bluefi_beacon_frames_total" must not end in _total`
+	r.Histogram("bluefi_beacon_slots", "no unit", nil)        // want `histogram "bluefi_beacon_slots" must end in a unit suffix`
+}
+
+func badLabels(r *obs.Registry, key string) {
+	r.Counter("bluefi_beacon_frames_total", "too many",
+		obs.L("a", "1"), obs.L("b", "2"), obs.L("c", "3"), obs.L("d", "4"), obs.L("e", "5")) // want `5 labels on one metric exceeds the cardinality ceiling of 4`
+	r.Counter("bluefi_beacon_drops_total", "dynamic key", obs.L(key, "v")) // want `label key must be a compile-time constant`
+}
+
+// forwarding passes labels through; the defining site is checked, the
+// pass-through is not.
+func forwarding(r *obs.Registry, labels []obs.Label) {
+	r.Counter("bluefi_beacon_frames_total", "fan-in", labels...)
+}
+
+func badSpans(ctx context.Context, name string) {
+	obs.StartSpan(ctx, name)       // want `span name must be a compile-time constant`
+	obs.StartSpan(ctx, "emit")     // want `span name "emit" does not match the dotted lowercase taxonomy`
+	obs.StartSpan(ctx, "Beacon.X") // want `span name "Beacon.X" does not match the dotted lowercase taxonomy`
+}
+
+func suppressed(r *obs.Registry) {
+	r.Gauge("bluefi_beacon_uptime_total", "legacy dashboard name") //bluefi:obsname-ok exported since PR 3, dashboards depend on it
+	r.Gauge("bluefi_beacon_age_total", "bare")                     //bluefi:obsname-ok // want `gauge "bluefi_beacon_age_total" must not end in _total` `suppression //bluefi:obsname-ok needs a reason`
+}

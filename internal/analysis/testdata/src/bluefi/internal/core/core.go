@@ -1,6 +1,8 @@
-// Strict-tier determinism fixture: this fake package's import path ends
-// in internal/core, so every randomness source, wall-clock read, map
-// range and multi-case select is a violation.
+// Strict-tier determinism fixture: this fake package carries the
+// //bluefi:strict annotation, so every randomness source, wall-clock
+// read, map range and multi-case select is a violation.
+//
+//bluefi:strict
 package core
 
 import (
@@ -9,7 +11,7 @@ import (
 )
 
 func wallClock() time.Duration {
-	t0 := time.Now() // want `time.Now reads the wall clock`
+	t0 := time.Now()      // want `time.Now reads the wall clock`
 	return time.Since(t0) // want `time.Since reads the wall clock`
 }
 
@@ -19,7 +21,7 @@ func deadline(t time.Time) time.Duration {
 
 func seededIsStillBanned() float64 {
 	rng := rand.New(rand.NewSource(1)) // want `call of math/rand.New in deterministic package` `call of math/rand.NewSource in deterministic package`
-	return rng.Float64() // want `call of math/rand.Float64 in deterministic package`
+	return rng.Float64()               // want `call of math/rand.Float64 in deterministic package`
 }
 
 func globalRand() int {

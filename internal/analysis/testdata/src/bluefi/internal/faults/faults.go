@@ -1,9 +1,11 @@
 // Strict-tier determinism fixture for the fault injector: this fake
-// package's import path ends in internal/faults, which is strict by
-// contract — injection decisions must replay bit-identically from a
-// seed, so no wholesale exemption like internal/obs applies. Randomness
+// package is annotated //bluefi:strict — injection decisions must
+// replay bit-identically from a seed, so no wholesale exemption like
+// internal/obs applies. Randomness
 // (even seeded), wall-clock reads, map ranges and multi-case selects
 // are all violations; the sanctioned pattern is a pure counter hash.
+//
+//bluefi:strict
 package faults
 
 import (

@@ -1,0 +1,40 @@
+// Package hotdep is the cross-package half of the alloccheck fixtures:
+// bluefi/internal/hotkern calls into it, so the analyzer must summarize
+// these bodies through the module context rather than trusting export
+// data.
+package hotdep
+
+// Scale is unannotated and allocates; calling it from an annotated
+// function must surface this make through the transitive summary.
+func Scale(in []float64, k float64) []float64 {
+	out := make([]float64, len(in))
+	for i, v := range in {
+		out[i] = v * k
+	}
+	return out
+}
+
+// ScaleInto is annotated and clean: calls to it are trusted without
+// re-summarizing (its own package's pass verifies the contract).
+//
+//bluefi:allocfree
+func ScaleInto(dst, in []float64, k float64) {
+	for i, v := range in {
+		dst[i] = v * k
+	}
+}
+
+// Chain is unannotated and clean itself but calls Scale — the
+// transitive summary must walk one level deeper and still find the
+// allocation.
+func Chain(in []float64) []float64 {
+	return Scale(in, 2)
+}
+
+// Spin loops forever with no exit; the leakcheck fixture launches it
+// from another package to exercise the unprovable-launch diagnostic.
+func Spin() {
+	for {
+		_ = Chain(nil)
+	}
+}

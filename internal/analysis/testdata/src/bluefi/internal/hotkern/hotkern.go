@@ -1,0 +1,120 @@
+// Package hotkern is the alloccheck fixture: every allocation-site
+// category the analyzer diagnoses inside a //bluefi:allocfree function,
+// the transitive module summaries, both suppression paths, and the
+// clean kernels that must stay silent.
+package hotkern
+
+import (
+	"fmt"
+
+	"bluefi/internal/hotdep"
+)
+
+// directSites packs one of every syntactic allocation category.
+//
+//bluefi:allocfree
+func directSites(n int, s string, b []byte) {
+	_ = make([]byte, n)         // want `make allocates; hoist the buffer into caller-owned scratch`
+	_ = new(int)                // want `new allocates`
+	b = append(b, 1)            // want `append may grow its backing array; write into preallocated capacity by index`
+	_ = []int{1, 2}             // want `slice literal allocates its backing array`
+	_ = map[string]int{}        // want `map literal allocates`
+	_ = &point{1, 2}            // want `address of composite literal allocates`
+	_ = func() int { return n } // want `function literal allocates a closure`
+	go spinOnce()               // want `go statement allocates a goroutine`
+	_ = s + "suffix"            // want `string concatenation allocates`
+	s += "more"                 // want `string concatenation allocates`
+	_ = string(b)               // want `conversion from \[\]byte to string allocates`
+	_ = []byte(s)               // want `conversion from string to \[\]byte allocates`
+}
+
+type point struct{ x, y int }
+
+func spinOnce() {}
+
+// callSites covers the allocations hidden behind calls: boxing,
+// variadic materialization, dynamic dispatch, indirect calls, method
+// values, and out-of-module callees.
+//
+//bluefi:allocfree
+func callSites(n int, f func() int, e error, sc scaler) {
+	box(n)                    // want `passing int as .* boxes the value`
+	variadic(1, 2)            // want `variadic call allocates its argument slice`
+	_ = f()                   // want `indirect call through a function value cannot be proven allocation-free`
+	_ = e.Error()             // want `dynamic call of Error through an interface cannot be proven allocation-free`
+	_ = sc.scale(n)           // want `dynamic call of scale through an interface cannot be proven allocation-free`
+	_ = fmt.Sprint(n)         // want `call of fmt.Sprint cannot be proven allocation-free \(outside the module\)` `variadic call allocates its argument slice`
+	mv := pointMethods.scaled // want `method value allocates a closure`
+	_ = mv
+}
+
+func box(v interface{}) {}
+
+func variadic(vs ...int) {}
+
+type scaler interface{ scale(int) int }
+
+var pointMethods point
+
+func (p point) scaled(k int) int { return p.x * k }
+
+// transitiveSites exercises the module call-graph summaries: the
+// same-package helper, the unannotated cross-package callee, a
+// two-level chain, and the trusted annotated callee.
+//
+//bluefi:allocfree
+func transitiveSites(dst, in []float64) {
+	helper(len(in))              // want `call of bluefi/internal/hotkern.helper is not allocation-free: make allocates`
+	_ = hotdep.Scale(in, 2)      // want `call of bluefi/internal/hotdep.Scale is not allocation-free: make allocates`
+	_ = hotdep.Chain(in)         // want `call of bluefi/internal/hotdep.Chain is not allocation-free: call of bluefi/internal/hotdep.Scale is not allocation-free`
+	hotdep.ScaleInto(dst, in, 2) // trusted: annotated in its own package
+	clamp(dst)                   // clean same-package helper: no diagnostic
+}
+
+func helper(n int) {
+	_ = make([]int, n)
+}
+
+func clamp(xs []float64) {
+	for i, v := range xs {
+		if v > 1 {
+			xs[i] = 1
+		}
+	}
+}
+
+// suppressed shows both suppression paths: a reasoned //bluefi:alloc-ok
+// silences the finding, a bare one does not and earns its own
+// diagnostic.
+//
+//bluefi:allocfree
+func suppressed(n int) {
+	_ = make([]byte, n) //bluefi:alloc-ok one-time warm-up buffer, amortized across the stream
+	_ = make([]byte, n) //bluefi:alloc-ok // want `make allocates` `suppression //bluefi:alloc-ok needs a reason`
+}
+
+// noBody is annotated but has no Go body to verify.
+//
+//bluefi:allocfree
+func noBody(n int) int // want `//bluefi:allocfree function noBody has no Go body to verify`
+
+// cleanKernel is the contract holding: index writes into caller-owned
+// buffers, arithmetic, calls to annotated and clean callees only.
+//
+//bluefi:allocfree
+func cleanKernel(dst, in []float64) {
+	hotdep.ScaleInto(dst, in, 0.5)
+	clamp(dst)
+	for i := range dst {
+		dst[i] += float64(i)
+	}
+	// The crash path may format: panic arguments are skipped.
+	if len(dst) != len(in) {
+		panic(fmt.Sprintf("hotkern: length mismatch %d != %d", len(dst), len(in)))
+	}
+}
+
+// unannotated functions may allocate freely — the contract is opt-in.
+func unannotated(n int) []byte {
+	return append(make([]byte, 0, n), 'x')
+}

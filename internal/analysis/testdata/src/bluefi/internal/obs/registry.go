@@ -1,0 +1,33 @@
+// Registry stub mirroring the real bluefi/internal/obs registration
+// API: same import path shape, same signatures, no recording. The
+// obsnames fixtures register against this so they stay hermetic inside
+// testdata.
+package obs
+
+import "context"
+
+type Label struct{ Key, Value string }
+
+func L(key, value string) Label { return Label{key, value} }
+
+type Registry struct{}
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter { return &Counter{} }
+
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge { return &Gauge{} }
+
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return &Histogram{}
+}
+
+type Span struct{}
+
+func StartSpan(ctx context.Context, name string, attrs ...Label) (context.Context, Span) {
+	return ctx, Span{}
+}

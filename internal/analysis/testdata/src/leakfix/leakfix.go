@@ -1,0 +1,150 @@
+// Package leakfix is the leakcheck fixture: every launch shape with a
+// provable shutdown edge stays silent, every fire-and-forget shape
+// diagnoses, and both suppression paths are covered.
+package leakfix
+
+import (
+	"context"
+
+	"bluefi/internal/hotdep"
+)
+
+// --- provable shutdown edges: no diagnostics ---
+
+func straightLine() {
+	go func() {
+		_ = 1 + 1
+	}()
+}
+
+func boundedLoop(n int) {
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = i
+		}
+	}()
+}
+
+func rangeSlice(xs []int) {
+	go func() {
+		for _, x := range xs {
+			_ = x
+		}
+	}()
+}
+
+func rangeChannel(ch chan int) {
+	go func() {
+		for v := range ch { // ends when ch is closed: the shutdown edge
+			_ = v
+		}
+	}()
+}
+
+func ctxDoneSelect(ctx context.Context, work chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-work:
+				_ = v
+			}
+		}
+	}()
+}
+
+func sentinelPop(q func() *int) {
+	go func() {
+		for {
+			if j := q(); j == nil { // nil pop after close: the shutdown edge
+				return
+			}
+		}
+	}()
+}
+
+func labeledBreak(done chan struct{}) {
+	go func() {
+	drain:
+		for {
+			select {
+			case <-done:
+				break drain
+			default:
+			}
+		}
+	}()
+}
+
+// worker is a named same-package body with a sentinel return; launching
+// it must resolve the declaration one level deep.
+func worker(q chan *int) {
+	for {
+		j := <-q
+		if j == nil {
+			return
+		}
+	}
+}
+
+func launchWorker(q chan *int) {
+	go worker(q)
+}
+
+// --- fire-and-forget: diagnostics ---
+
+func foreverNoExit() {
+	go func() { // want `goroutine loops forever with no shutdown edge \(for \{\} at line \d+ needs a return, a break, or a ctx.Done/close-channel select arm\)`
+		for { // no return, no break, no shutdown arm
+			_ = 1
+		}
+	}()
+}
+
+func selectBreakOnlyExitsSelect(done chan struct{}) {
+	go func() { // want `goroutine loops forever with no shutdown edge`
+		for {
+			select {
+			case <-done:
+				break // binds to the select, not the loop: still spins
+			default:
+			}
+		}
+	}()
+}
+
+func launchThroughValue(f func()) {
+	go f() // want `goroutine launched through a function value; shutdown cannot be proven at the launch site`
+}
+
+func launchOutOfPackage() {
+	go hotdep.Spin() // want `goroutine body Spin is outside this package; shutdown cannot be proven at the launch site`
+}
+
+func spinForever() {
+	go func() { // want `goroutine loops forever with no shutdown edge`
+		for {
+			_ = 1
+		}
+	}()
+}
+
+// --- suppression paths ---
+
+func suppressedWithReason() {
+	//bluefi:goroutine process-lifetime serve loop, killed with the process
+	go func() {
+		for {
+			_ = 1
+		}
+	}()
+}
+
+func suppressedWithoutReason() {
+	go func() { //bluefi:goroutine // want `goroutine loops forever with no shutdown edge` `suppression //bluefi:goroutine needs a reason`
+		for {
+			_ = 1
+		}
+	}()
+}

@@ -1,0 +1,22 @@
+// Migration fixture, strict half: the import path says nothing (no
+// internal/<pkg> suffix the old hand-edited list would have matched),
+// but the //bluefi:strict annotation below opts the package into the
+// strict tier — seeded randomness and map ranges are violations here.
+//
+//bluefi:strict
+package annotated
+
+import "math/rand" // want `deterministic package .* imports "math/rand"`
+
+func seededDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // want `call of math/rand.New in deterministic package` `call of math/rand.NewSource in deterministic package`
+	return rng.Float64()                  // want `call of math/rand.Float64 in deterministic package`
+}
+
+func mapOrder(m map[string]int) int {
+	var sum int
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}

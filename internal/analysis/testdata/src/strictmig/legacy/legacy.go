@@ -1,0 +1,25 @@
+// Migration fixture, lax half: byte-for-byte the same code as the
+// annotated sibling minus the //bluefi:strict line. Without the
+// annotation the package is lax — seeded generators and map ranges
+// pass, proving the tier is carried by the annotation alone, not by
+// any import-path list inside the analyzer.
+package legacy
+
+import "math/rand"
+
+func seededDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func mapOrder(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func globalStillBanned() int {
+	return rand.Intn(4) // want `draws from the process-seeded global source`
+}

@@ -8,6 +8,8 @@
 // whitening) is defined on individual bits, and profiling shows the
 // packet-synthesis hot path is dominated by the Viterbi search, not by bit
 // storage.
+//
+//bluefi:strict
 package bits
 
 import "fmt"

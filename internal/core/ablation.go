@@ -110,7 +110,7 @@ func (s *Synthesizer) Ablation(airBits []byte, btMHz float64) ([]AblationWavefor
 	if err != nil {
 		return nil, err
 	}
-	weights := CodedBitWeights(s.il, s.mcs.Modulation, plan.OffsetHz, nsym)
+	weights := s.codedBitWeights(plan.OffsetHz, nsym)
 	data, err := s.invert(coded, weights, nsym)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,8 @@
 // the O(T) real-time decoder, and descrambles — producing a PSDU byte
 // string that an unmodified 802.11n chip will turn into a Bluetooth-
 // decodable waveform.
+//
+//bluefi:strict
 package core
 
 import (

@@ -256,10 +256,12 @@ type Synthesizer struct {
 	extraLead    int
 	rehearseRx   *btrx.Receiver
 
-	// fitSymbols scratch: the time/frequency buffers and the two
-	// interleaved-bit candidate buffers of the per-symbol scale search.
-	fitBody, fitX []complex128
-	fitInter      [2][]byte
+	// fitSymbols scratch: the time/frequency buffers, the two
+	// interleaved-bit candidate buffers of the per-symbol scale search,
+	// and the per-subcarrier band masks of the last offset.
+	fitBody, fitX        []complex128
+	fitInter             [2][]byte
+	fitStarve, fitInband []bool
 
 	// workers are the PhaseSearch clones, parked in workerCh between
 	// groups. Built lazily on the first parallel search.
@@ -269,6 +271,11 @@ type Synthesizer struct {
 	// pilotIBCache memoizes the in-band pilot waveform per (nsym,
 	// offset): it is data-independent, so audio streams reuse it.
 	pilotIBCache map[pilotKey][]complex128
+
+	// weightsCache memoizes CodedBitWeights per (nsym, offset) — also
+	// data-independent, and rebuilt twice per packet otherwise. Entries
+	// are shared read-only with the Viterbi inverters.
+	weightsCache map[pilotKey][]float64
 
 	// Telemetry: met/vmet are nil when Options.Telemetry is nil (every
 	// observe method then no-ops); obsCtx is the span root carrying the
@@ -345,6 +352,8 @@ func New(opts Options) (*Synthesizer, error) {
 	s.fitX = make([]complex128, wifi.FFTSize)
 	s.fitInter[0] = make([]byte, 0, mcs.NCBPS)
 	s.fitInter[1] = make([]byte, 0, mcs.NCBPS)
+	s.fitStarve = make([]bool, len(wifi.HTDataSubcarriers))
+	s.fitInband = make([]bool, len(wifi.HTDataSubcarriers))
 	s.met = newCoreMetrics(opts.Telemetry, opts.Mode)
 	s.vmet = viterbi.NewMetrics(opts.Telemetry)
 	s.obsCtx = obs.WithRegistry(context.Background(), opts.Telemetry)
@@ -412,18 +421,16 @@ func (s *Synthesizer) fitSymbols(thetaHat []float64, nsym int, offsetHz float64)
 	nbpsc := s.mcs.Modulation.BitsPerSymbol()
 	coded = make([]byte, 0, nsym*s.mcs.NCBPS)
 	body, X := s.fitBody, s.fitX
-	scales := []float64{s.opts.ScaleFactor}
+	single := [1]float64{s.opts.ScaleFactor}
+	scales := single[:]
 	if s.opts.DynamicScale {
-		scales = []float64{0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65}
+		scales = dynamicScales
 	}
-	starve := make([]bool, len(wifi.HTDataSubcarriers))
-	inband := make([]bool, len(wifi.HTDataSubcarriers))
+	starve, inband := s.fitStarve, s.fitInband
 	for i, sub := range wifi.HTDataSubcarriers {
 		w := SubcarrierWeight(sub, offsetHz)
 		inband[i] = w >= WeightAdjacent
-		if s.opts.MinimizeJunk {
-			starve[i] = w < WeightAdjacent
-		}
+		starve[i] = s.opts.MinimizeJunk && w < WeightAdjacent
 	}
 	// Two candidate buffers serve the whole scale search: `cur` collects
 	// the candidate being built; on improvement it becomes `bestInter` and
@@ -456,11 +463,10 @@ func (s *Synthesizer) fitSymbols(thetaHat []float64, nsym int, offsetHz float64)
 					d := v - q
 					residue += real(d)*real(d) + imag(d)*imag(d)
 				}
-				b, err := s.mapper.Demap(q)
-				if err != nil {
-					return nil, err
+				inter = inter[:len(inter)+nbpsc]
+				if !s.mapper.DemapInto(inter[len(inter)-nbpsc:], q) {
+					return nil, fmt.Errorf("core: %v demap: point (%g,%g) off grid", s.mcs.Modulation, real(q), imag(q))
 				}
-				inter = append(inter, b...)
 			}
 			s.fitInter[curIdx] = inter[:0]
 			if residue /= A * A; residue < bestResidue {
@@ -472,9 +478,29 @@ func (s *Synthesizer) fitSymbols(thetaHat []float64, nsym int, offsetHz float64)
 		if len(bestInter) != s.mcs.NCBPS {
 			return nil, fmt.Errorf("core: symbol %d produced %d bits, want %d (nbpsc %d)", k, len(bestInter), s.mcs.NCBPS, nbpsc)
 		}
-		coded = append(coded, s.il.Deinterleave(bestInter)...)
+		coded = coded[:len(coded)+s.mcs.NCBPS]
+		s.il.DeinterleaveInto(coded[len(coded)-s.mcs.NCBPS:], bestInter)
 	}
 	return coded, nil
+}
+
+// dynamicScales is the DynamicScale candidate grid of §2.5.
+var dynamicScales = []float64{0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65}
+
+// codedBitWeights returns the memoized CodedBitWeights for this
+// synthesizer's interleaver and modulation. The result is shared across
+// calls and must be treated as read-only.
+func (s *Synthesizer) codedBitWeights(offsetHz float64, nsym int) []float64 {
+	key := pilotKey{nsym: nsym, offset: offsetHz}
+	if w, ok := s.weightsCache[key]; ok {
+		return w
+	}
+	if s.weightsCache == nil {
+		s.weightsCache = make(map[pilotKey][]float64)
+	}
+	w := CodedBitWeights(s.il, s.mcs.Modulation, offsetHz, nsym)
+	s.weightsCache[key] = w
+	return w
 }
 
 // frameLayout computes the PSDU length and pad for a symbol count: the
@@ -558,7 +584,7 @@ func (s *Synthesizer) synthOnce(ctx context.Context, target []float64, nsym int,
 		return nil, err
 	}
 	_, spFEC := obs.StartSpan(ctx, "fec.invert", obs.L("mode", s.opts.Mode.String()))
-	weights := CodedBitWeights(s.il, s.mcs.Modulation, offsetHz, nsym)
+	weights := s.codedBitWeights(offsetHz, nsym)
 	data, err := s.invert(coded, weights, nsym)
 	dFEC := spFEC.End()
 	if err != nil {
@@ -1059,11 +1085,10 @@ func (s *Synthesizer) synthesizeShifted(ctx context.Context, basebandPhase []flo
 
 	res.targetPhase = theta
 	// Restrict the important-flip count to symbols carrying the packet.
-	// The ideal waveform is the offset-mixed target phase itself.
-	ideal := dsp.PhaseToIQ(theta[lead:lead+len(basebandPhase)], 1)
+	pktLen := len(basebandPhase)
 	firstSym := lead / symbolLen
-	lastSym := (lead + len(ideal) + symbolLen - 1) / symbolLen
-	weights := CodedBitWeights(s.il, s.mcs.Modulation, plan.OffsetHz, nsym)
+	lastSym := (lead + pktLen + symbolLen - 1) / symbolLen
+	weights := s.codedBitWeights(plan.OffsetHz, nsym)
 	reCoded := wifi.EncodeRate(pass.data, s.mcs.Rate)
 	for i := firstSym * s.mcs.NCBPS; i < lastSym*s.mcs.NCBPS && i < len(coded); i++ {
 		if reCoded[i] != coded[i] && weights[i] >= WeightImportant {
@@ -1071,10 +1096,13 @@ func (s *Synthesizer) synthesizeShifted(ctx context.Context, basebandPhase []flo
 		}
 	}
 
-	// In-band phase fidelity over the Bluetooth packet span.
+	// In-band phase fidelity over the Bluetooth packet span. The ideal
+	// waveform — the offset-mixed target phase itself — is only realized
+	// here, off the PSDUOnly hot path.
 	start := res.DataStart + lead
-	if !s.opts.PSDUOnly && start+len(ideal) <= len(waveform) {
-		res.PhaseRMSE = s.inbandPhaseRMSE(ideal, waveform[start:start+len(ideal)], plan.OffsetHz)
+	if !s.opts.PSDUOnly && start+pktLen <= len(waveform) {
+		ideal := dsp.PhaseToIQ(theta[lead:lead+pktLen], 1)
+		res.PhaseRMSE = s.inbandPhaseRMSE(ideal, waveform[start:start+pktLen], plan.OffsetHz)
 	}
 	return res, nil
 }

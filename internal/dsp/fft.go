@@ -3,6 +3,8 @@
 // shaping, phase-signal manipulation and power measurement. Everything works
 // on []complex128 IQ buffers at an implicit sample rate carried by the
 // caller (20 Msps throughout this repository, matching 20 MHz 802.11n).
+//
+//bluefi:strict
 package dsp
 
 import (
@@ -58,6 +60,7 @@ func NewFFTPlan(n int) (*FFTPlan, error) {
 // Size returns the transform length.
 func (p *FFTPlan) Size() int { return p.n }
 
+//bluefi:allocfree
 func (p *FFTPlan) transform(dst, src []complex128, tw []complex128) {
 	n := p.n
 	for i, r := range p.bitrev {
@@ -103,6 +106,8 @@ func (p *FFTPlan) Inverse(src []complex128) []complex128 {
 // ForwardInto computes the forward DFT of src into dst, avoiding
 // allocation on hot paths. dst and src must not alias and both must have
 // the plan's length.
+//
+//bluefi:allocfree
 func (p *FFTPlan) ForwardInto(dst, src []complex128) {
 	p.check(src)
 	p.check(dst)
@@ -110,6 +115,8 @@ func (p *FFTPlan) ForwardInto(dst, src []complex128) {
 }
 
 // InverseInto computes the inverse DFT (with 1/N scaling) of src into dst.
+//
+//bluefi:allocfree
 func (p *FFTPlan) InverseInto(dst, src []complex128) {
 	p.check(src)
 	p.check(dst)
@@ -120,6 +127,7 @@ func (p *FFTPlan) InverseInto(dst, src []complex128) {
 	}
 }
 
+//bluefi:allocfree
 func (p *FFTPlan) check(v []complex128) {
 	if len(v) != p.n {
 		panic(fmt.Sprintf("dsp: FFT buffer length %d, plan size %d", len(v), p.n))
@@ -129,6 +137,8 @@ func (p *FFTPlan) check(v []complex128) {
 // SubcarrierBin maps an OFDM subcarrier index (…,-2,-1,0,1,2,…) to the FFT
 // bin index for transform size n: non-negative subcarriers occupy bins
 // [0,n/2), negative subcarriers wrap to the top bins.
+//
+//bluefi:allocfree
 func SubcarrierBin(sub, n int) int {
 	if sub >= 0 {
 		return sub
@@ -137,6 +147,8 @@ func SubcarrierBin(sub, n int) int {
 }
 
 // BinSubcarrier is the inverse of SubcarrierBin.
+//
+//bluefi:allocfree
 func BinSubcarrier(bin, n int) int {
 	if bin < n/2 {
 		return bin

@@ -61,6 +61,8 @@ func (f *FIR) Apply(x []complex128) []complex128 {
 // ApplyInto is Apply writing into a caller-provided buffer of the same
 // length as x (which must not alias x) — the allocation-free variant for
 // hot paths that reuse pooled buffers.
+//
+//bluefi:allocfree
 func (f *FIR) ApplyInto(out, x []complex128) {
 	if len(out) != len(x) {
 		panic("dsp: ApplyInto length mismatch")
@@ -117,6 +119,18 @@ func GaussianPulse(bt float64, spb, spanBits int) []float64 {
 // signals; used on GFSK frequency trajectories).
 func ConvolveReal(x, taps []float64) []float64 {
 	out := make([]float64, len(x))
+	ConvolveRealInto(out, x, taps)
+	return out
+}
+
+// ConvolveRealInto is ConvolveReal writing into a caller-provided buffer
+// of the same length as x (which must not alias x).
+//
+//bluefi:allocfree
+func ConvolveRealInto(out, x, taps []float64) {
+	if len(out) != len(x) {
+		panic("dsp: ConvolveRealInto length mismatch")
+	}
 	d := (len(taps) - 1) / 2
 	for n := range out {
 		var acc float64
@@ -132,5 +146,4 @@ func ConvolveReal(x, taps []float64) []float64 {
 		}
 		out[n] = acc
 	}
-	return out
 }

@@ -17,6 +17,8 @@ func Phase(x []complex128) []float64 {
 
 // Unwrap removes 2π discontinuities from a wrapped phase sequence in place
 // and returns it.
+//
+//bluefi:allocfree
 func Unwrap(ph []float64) []float64 {
 	for i := 1; i < len(ph); i++ {
 		d := ph[i] - ph[i-1]
@@ -33,6 +35,8 @@ func Unwrap(ph []float64) []float64 {
 }
 
 // WrapAngle reduces an angle to (-π, π].
+//
+//bluefi:allocfree
 func WrapAngle(a float64) float64 {
 	a = math.Mod(a, 2*math.Pi)
 	if a > math.Pi {
@@ -57,6 +61,8 @@ func PhaseToIQ(theta []float64, amp float64) []complex128 {
 // PhaseToIQInto writes amp·e^{jθ[n]} into dst, which must have the same
 // length as theta — the allocation-free variant for hot paths that reuse
 // pooled buffers.
+//
+//bluefi:allocfree
 func PhaseToIQInto(dst []complex128, theta []float64, amp float64) {
 	if len(dst) != len(theta) {
 		panic("dsp: PhaseToIQInto length mismatch")
@@ -73,12 +79,24 @@ func PhaseToIQInto(dst []complex128, theta []float64, amp float64) {
 // first output sample already includes the first frequency step.
 func IntegrateFrequency(omega []float64, phase0 float64) []float64 {
 	out := make([]float64, len(omega))
+	IntegrateFrequencyInto(out, omega, phase0)
+	return out
+}
+
+// IntegrateFrequencyInto is IntegrateFrequency writing into a
+// caller-provided buffer of the same length as omega (in-place use,
+// dst == omega, is fine).
+//
+//bluefi:allocfree
+func IntegrateFrequencyInto(dst, omega []float64, phase0 float64) {
+	if len(dst) != len(omega) {
+		panic("dsp: IntegrateFrequencyInto length mismatch")
+	}
 	acc := phase0
 	for i, w := range omega {
 		acc += w
-		out[i] = acc
+		dst[i] = acc
 	}
-	return out
 }
 
 // Discriminate computes the instantaneous frequency (radians per sample)

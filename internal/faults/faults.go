@@ -13,6 +13,8 @@
 // bit-identically; when hooks race across goroutines, each site's
 // decision sequence is still deterministic — only which goroutine
 // observes the n-th decision varies.
+//
+//bluefi:strict
 package faults
 
 import (

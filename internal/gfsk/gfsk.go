@@ -3,11 +3,14 @@
 // into a phase signal, optionally shifted to the Bluetooth channel's
 // offset from the WiFi channel center, and converted to IQ samples at the
 // WiFi hardware rate of 20 Msps.
+//
+//bluefi:strict
 package gfsk
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"bluefi/internal/dsp"
 )
@@ -66,6 +69,55 @@ func (c Config) validate() error {
 	return nil
 }
 
+// pulseCache memoizes the Gaussian shaping taps per (BT, spb, span).
+// The pulse is data-independent and entries are shared read-only, so
+// every packet of a stream reuses one tap set instead of resampling the
+// Gaussian per synthesis.
+var pulseCache struct {
+	sync.Mutex
+	m map[pulseKey][]float64
+}
+
+type pulseKey struct {
+	bt       float64
+	spb, spn int
+}
+
+func cachedPulse(bt float64, spb, spanBits int) []float64 {
+	key := pulseKey{bt: bt, spb: spb, spn: spanBits}
+	pulseCache.Lock()
+	defer pulseCache.Unlock()
+	if p, ok := pulseCache.m[key]; ok {
+		return p
+	}
+	if pulseCache.m == nil {
+		pulseCache.m = make(map[pulseKey][]float64)
+	}
+	p := dsp.GaussianPulse(bt, spb, spanBits)
+	pulseCache.m[key] = p
+	return p
+}
+
+// nrzInto expands air bits into a ±1 NRZ sample train with pad
+// zero-frequency samples on each side. dst must hold
+// 2*pad + len(airBits)*spb samples.
+//
+//bluefi:allocfree
+func nrzInto(dst []float64, airBits []byte, spb, pad int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i, b := range airBits {
+		v := -1.0
+		if b&1 == 1 {
+			v = 1.0
+		}
+		for k := 0; k < spb; k++ {
+			dst[pad+i*spb+k] = v
+		}
+	}
+}
+
 // FrequencySignal shapes air bits into the instantaneous-frequency
 // trajectory in Hz (including pads), before any center offset.
 func (c Config) FrequencySignal(airBits []byte) ([]float64, error) {
@@ -75,17 +127,9 @@ func (c Config) FrequencySignal(airBits []byte) ([]float64, error) {
 	spb := c.SamplesPerBit()
 	pad := c.PadBits * spb
 	nrz := make([]float64, pad+len(airBits)*spb+pad)
-	for i, b := range airBits {
-		v := -1.0
-		if b&1 == 1 {
-			v = 1.0
-		}
-		for k := 0; k < spb; k++ {
-			nrz[pad+i*spb+k] = v
-		}
-	}
-	pulse := dsp.GaussianPulse(c.BT, spb, 3)
-	shaped := dsp.ConvolveReal(nrz, pulse)
+	nrzInto(nrz, airBits, spb, pad)
+	shaped := make([]float64, len(nrz))
+	dsp.ConvolveRealInto(shaped, nrz, cachedPulse(c.BT, spb, 3))
 	for i := range shaped {
 		shaped[i] *= c.Deviation
 	}
@@ -94,18 +138,20 @@ func (c Config) FrequencySignal(airBits []byte) ([]float64, error) {
 
 // PhaseSignal converts air bits into the accumulated phase trajectory
 // θ[n] in radians, with the configured center offset already mixed in —
-// the exact input to BlueFi's CP-insertion design (§2.4).
+// the exact input to BlueFi's CP-insertion design (§2.4). The frequency
+// buffer is converted to angular steps and integrated in place, so one
+// allocation serves the whole trajectory.
 func (c Config) PhaseSignal(airBits []byte) ([]float64, error) {
 	freq, err := c.FrequencySignal(airBits)
 	if err != nil {
 		return nil, err
 	}
-	omega := make([]float64, len(freq))
 	offsetStep := 2 * math.Pi * c.CenterOffset / c.SampleRate
 	for i, f := range freq {
-		omega[i] = 2*math.Pi*f/c.SampleRate + offsetStep
+		freq[i] = 2*math.Pi*f/c.SampleRate + offsetStep
 	}
-	return dsp.IntegrateFrequency(omega, 0), nil
+	dsp.IntegrateFrequencyInto(freq, freq, 0)
+	return freq, nil
 }
 
 // Modulate produces the unit-amplitude IQ waveform for the air bits.

@@ -14,6 +14,8 @@
 //
 // A Scanner is not safe for concurrent use by multiple goroutines;
 // SweepParallel manages its own internal fan-out.
+//
+//bluefi:strict
 package scan
 
 import (

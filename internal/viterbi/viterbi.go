@@ -17,6 +17,8 @@
 // The encoder definition is self-contained (the same K=7 (133,171)₈ code
 // as package wifi) so the two packages stay independent; a cross-check
 // test asserts they agree.
+//
+//bluefi:strict
 package viterbi
 
 import (

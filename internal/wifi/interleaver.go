@@ -77,10 +77,36 @@ func (it *Interleaver) Deinterleave(in []byte) []byte {
 		panic(fmt.Sprintf("wifi: deinterleave block of %d bits, want %d", len(in), it.ncbps))
 	}
 	out := make([]byte, it.ncbps)
-	for k, j := range it.perm {
-		out[k] = in[j]
-	}
+	it.DeinterleaveInto(out, in)
 	return out
+}
+
+// InterleaveInto permutes one symbol's worth of coded bits into dst,
+// reporting false when either slice is shorter than NCBPS. The
+// allocation-free counterpart of Interleave for per-symbol hot loops.
+//
+//bluefi:allocfree
+func (it *Interleaver) InterleaveInto(dst, in []byte) bool {
+	if len(in) < it.ncbps || len(dst) < it.ncbps {
+		return false
+	}
+	for k, j := range it.perm {
+		dst[j] = in[k]
+	}
+	return true
+}
+
+// DeinterleaveInto inverts InterleaveInto, writing NCBPS bits into dst.
+//
+//bluefi:allocfree
+func (it *Interleaver) DeinterleaveInto(dst, in []byte) bool {
+	if len(in) < it.ncbps || len(dst) < it.ncbps {
+		return false
+	}
+	for k, j := range it.perm {
+		dst[k] = in[j]
+	}
+	return true
 }
 
 // SubcarrierOfCodedBit returns, for a coded (pre-interleaving) bit index k

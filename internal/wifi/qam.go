@@ -148,37 +148,66 @@ func (mp *Mapper) Map(bits []byte) (complex128, error) {
 // Demap converts a grid point back to bits. The point must lie exactly on
 // the constellation grid (use Quantize first for arbitrary points).
 func (mp *Mapper) Demap(p complex128) ([]byte, error) {
-	if mp.mod == BPSK {
-		if real(p) > 0 {
-			return []byte{1}, nil
-		}
-		return []byte{0}, nil
+	out := make([]byte, mp.mod.BitsPerSymbol())
+	if !mp.DemapInto(out, p) {
+		return nil, fmt.Errorf("wifi: %v demap: point (%g,%g) off grid", mp.mod, real(p), imag(p))
 	}
-	iLvl, qLvl := int(math.Round(real(p))), int(math.Round(imag(p)))
-	ib, err := mp.axisBitsOf(iLvl)
-	if err != nil {
-		return nil, fmt.Errorf("wifi: %v demap: I level %d off grid", mp.mod, iLvl)
-	}
-	qb, err := mp.axisBitsOf(qLvl)
-	if err != nil {
-		return nil, fmt.Errorf("wifi: %v demap: Q level %d off grid", mp.mod, qLvl)
-	}
-	out := make([]byte, 0, mp.mod.BitsPerSymbol())
-	out = append(out, idxToBits(ib, mp.axisLen)...)
-	out = append(out, idxToBits(qb, mp.axisLen)...)
 	return out, nil
 }
 
-func (mp *Mapper) axisBitsOf(lvl int) (int, error) {
-	idx := (lvl + mp.maxLvl) / 2
+// DemapInto converts a grid point back to bits, writing exactly
+// BitsPerSymbol bytes into dst. It reports false — writing nothing
+// useful — when the point is off the constellation grid or dst is too
+// short. This is the per-subcarrier kernel of the synthesis fitting
+// loop (~52 subcarriers × every OFDM symbol × every rehearsal
+// candidate), so it is total and allocation-free; Demap wraps it with
+// an error for callers off the hot path.
+//
+//bluefi:allocfree
+func (mp *Mapper) DemapInto(dst []byte, p complex128) bool {
+	if mp.mod == BPSK {
+		if len(dst) < 1 {
+			return false
+		}
+		if real(p) > 0 {
+			dst[0] = 1
+		} else {
+			dst[0] = 0
+		}
+		return true
+	}
+	n := mp.axisLen
+	if len(dst) < 2*n {
+		return false
+	}
+	ib, ok := mp.axisIdx(int(math.Round(real(p))))
+	if !ok {
+		return false
+	}
+	qb, ok := mp.axisIdx(int(math.Round(imag(p))))
+	if !ok {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = byte(ib>>(n-1-i)) & 1
+		dst[n+i] = byte(qb>>(n-1-i)) & 1
+	}
+	return true
+}
+
+// axisIdx returns the Gray-coded axis bits for one level, or false off
+// grid.
+//
+//bluefi:allocfree
+func (mp *Mapper) axisIdx(lvl int) (int, bool) {
 	if lvl < -mp.maxLvl || lvl > mp.maxLvl || (lvl+mp.maxLvl)%2 != 0 {
-		return 0, fmt.Errorf("off grid")
+		return 0, false
 	}
-	b := mp.invAxis[idx]
+	b := mp.invAxis[(lvl+mp.maxLvl)/2]
 	if b < 0 {
-		return 0, fmt.Errorf("off grid")
+		return 0, false
 	}
-	return b, nil
+	return b, true
 }
 
 // Quantize snaps an arbitrary complex value (grid units) to the nearest

@@ -9,6 +9,8 @@
 // the preamble SIG fields) and 19 (HT). Only features BlueFi depends on are
 // implemented — one spatial stream, BCC coding (not LDPC), 20 MHz — plus
 // 256-QAM as the 802.11ac extension studied in §5.1 of the paper.
+//
+//bluefi:strict
 package wifi
 
 // Scrambler is the 802.11 frame-synchronous scrambler: a 7-bit LFSR with
@@ -28,6 +30,8 @@ func NewScrambler(seed uint8) *Scrambler {
 }
 
 // NextBit advances the LFSR one step and returns the output bit.
+//
+//bluefi:allocfree
 func (s *Scrambler) NextBit() byte {
 	// Feedback is x7 XOR x4.
 	fb := ((s.state >> 6) ^ (s.state >> 3)) & 1
@@ -36,6 +40,8 @@ func (s *Scrambler) NextBit() byte {
 }
 
 // Scramble XORs the bit slice with the LFSR stream in place and returns it.
+//
+//bluefi:allocfree
 func (s *Scrambler) Scramble(b []byte) []byte {
 	for i := range b {
 		b[i] = (b[i] ^ s.NextBit()) & 1
@@ -47,10 +53,17 @@ func (s *Scrambler) Scramble(b []byte) []byte {
 // the SERVICE field in the scrambled domain).
 func (s *Scrambler) Sequence(n int) []byte {
 	out := make([]byte, n)
-	for i := range out {
-		out[i] = s.NextBit()
-	}
+	s.SequenceInto(out)
 	return out
+}
+
+// SequenceInto fills dst with the next len(dst) LFSR output bits.
+//
+//bluefi:allocfree
+func (s *Scrambler) SequenceInto(dst []byte) {
+	for i := range dst {
+		dst[i] = s.NextBit()
+	}
 }
 
 // ScrambleCopy scrambles a copy of b with the given seed, leaving b intact.
