@@ -116,3 +116,16 @@ obs-overhead:
 .PHONY: alloc-gate
 alloc-gate:
 	go run ./cmd/bluefi-eval -alloc-gate
+
+# Fleet soak tier: the beacon-CDN capacity experiment (internal/fleet +
+# internal/eval). The package tests cover cache/budget/shard invariants
+# and GOMAXPROCS determinism under the race detector; the bluefi-eval
+# soak then registers 100k beacons across 64 shards, enforces the ≥90%
+# steady-state PSDU cache hit rate floor and zero failed registrations,
+# and appends the capacity curve (beacons vs p50/p99/max beacon-slot
+# latency) to BENCH_eval.json. See DESIGN.md §12.
+.PHONY: fleet-soak
+fleet-soak:
+	go test -race -count=1 ./internal/fleet
+	go test -race -count=1 -run 'TestFleetSoak' ./internal/eval
+	go run ./cmd/bluefi-eval -fleet-soak

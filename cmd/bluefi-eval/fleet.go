@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"bluefi"
+	"bluefi/internal/eval"
+	"bluefi/internal/fleet"
+)
+
+// runFleetServe runs the beacon-CDN daemon inside bluefi-eval: the
+// /fleet control plane (bulk register/update/expire, stats) next to the
+// telemetry endpoints, so the bluefi_fleet_* rollups are scrapeable
+// while clients drive the fleet. cmd/bluefi-fleet is the standalone
+// equivalent.
+func runFleetServe(addr string, aps, workers int) error {
+	reg := bluefi.NewTelemetry()
+	f, err := fleet.New(fleet.Config{
+		APs:          aps,
+		ShardWorkers: workers,
+		Synth:        bluefi.Options{Mode: bluefi.RealTime, Telemetry: reg},
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"bluefi-eval: fleet of %d APs on http://%s/fleet/register|update|expire|stats, telemetry on /metrics (Ctrl-C to stop)\n",
+		aps, ln.Addr())
+	mux := http.NewServeMux()
+	mux.Handle("/", reg.Handler())
+	mux.Handle("/fleet/", fleet.Handler(f))
+	return http.Serve(ln, mux)
+}
+
+// runFleetSoak runs the capacity soak, enforces the CI gates and merges
+// the capacity snapshot into the benchmark JSON.
+func runFleetSoak(path string, cfg eval.FleetSoakConfig) error {
+	fmt.Printf("fleet soak: %d beacons, %d unique payloads, %d APs, seed %d\n",
+		cfg.Beacons, cfg.UniquePayloads, cfg.APs, cfg.Seed)
+	res, err := eval.FleetSoak(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(eval.FormatFleetSoak(res))
+
+	if len(res.Ramp) == 0 {
+		return errors.New("no capacity points recorded")
+	}
+	last := res.Ramp[len(res.Ramp)-1]
+	if last.Failures > 0 {
+		return fmt.Errorf("%d registrations failed at the final level", last.Failures)
+	}
+	if last.Beacons < cfg.Beacons {
+		return fmt.Errorf("sustained %d beacons, want %d", last.Beacons, cfg.Beacons)
+	}
+	if last.P99LatencySeconds <= 0 {
+		return errors.New("no p99 beacon-slot latency recorded")
+	}
+	if res.SteadyStateHitRate < 0.90 {
+		return fmt.Errorf("steady-state cache hit rate %.4f under the 0.90 floor", res.SteadyStateHitRate)
+	}
+	return appendFleetCapacity(path, res)
+}
+
+// appendFleetCapacity merges the soak result into the benchmark JSON
+// under "fleetCapacity", leaving every other key untouched.
+func appendFleetCapacity(path string, res *eval.FleetSoakResult) error {
+	doc := map[string]any{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("existing %s is not JSON: %w", path, err)
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	doc["fleetCapacity"] = res
+	data, err := json.MarshalIndent(doc, "", "\t")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("fleet capacity snapshot → %s\n", path)
+	return nil
+}

@@ -11,6 +11,8 @@
 //	bluefi-eval -alloc-gate            # §4.8 allocs/op regression gate vs BENCH_eval.json (CI)
 //	bluefi-eval -faults storm          # chaos scenario → degradation report
 //	bluefi-eval -e2e                   # TX→RX conformance matrix → scanner PDR snapshot
+//	bluefi-eval -fleet :8400           # beacon-CDN control plane + telemetry
+//	bluefi-eval -fleet-soak            # capacity soak + cache-hit-rate gate (CI)
 package main
 
 import (
@@ -34,7 +36,33 @@ func main() {
 	faultsScenario := flag.String("faults", "", "run a chaos scenario (panics, latency, interference, storm) and append its degradation report to -bench-out")
 	e2e := flag.Bool("e2e", false, "run the loopback conformance matrix (BLE/BR/EDR through channel and scanner) and append the scanner PDR snapshot to -bench-out")
 	allocGate := flag.Bool("alloc-gate", false, "re-measure §4.8 real-time allocs/op and fail if it exceeds the committed -bench-out snapshot by more than 5%")
+	fleetAddr := flag.String("fleet", "", "serve the beacon-CDN fleet control plane (/fleet/register|update|expire|stats) plus telemetry on this address (e.g. :8400), instead of figures")
+	fleetSoak := flag.Bool("fleet-soak", false, "run the fleet capacity soak, enforce the ≥90% steady-state cache hit rate gate, and append the capacity curve to -bench-out")
+	fleetAPs := flag.Int("fleet-aps", 64, "simulated APs (one shard each) for -fleet / -fleet-soak")
+	fleetBeacons := flag.Int("fleet-beacons", 100000, "registrations for -fleet-soak")
+	fleetUnique := flag.Int("fleet-unique", 64, "distinct advertisement payloads for -fleet-soak")
+	fleetSeed := flag.Int64("fleet-seed", 8, "workload seed for -fleet-soak")
 	flag.Parse()
+
+	if *fleetSoak {
+		cfg := eval.DefaultFleetSoak()
+		cfg.APs = *fleetAPs
+		cfg.Beacons = *fleetBeacons
+		cfg.UniquePayloads = *fleetUnique
+		cfg.Seed = *fleetSeed
+		if err := runFleetSoak(*benchOut, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: fleet-soak: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *fleetAddr != "" {
+		if err := runFleetServe(*fleetAddr, *fleetAPs, *serveWorkers); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *allocGate {
 		if err := runAllocGate(*benchOut); err != nil {

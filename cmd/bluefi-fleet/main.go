@@ -1,0 +1,108 @@
+// Command bluefi-fleet is the beacon-CDN daemon: N simulated APs
+// serving registered beacons as BlueFi PSDUs, sharded by (AP, WiFi
+// channel), with a content-addressed PSDU cache de-duplicating
+// synthesis across the fleet and per-AP airtime budgets bounding
+// admission.
+//
+//	bluefi-fleet -addr :8400 -aps 64
+//	curl -d '{"beacons":[{"id":"door-7","ap":3,"ad":"AgEG",
+//	          "addr":"c0:ff:ee:00:00:07"}]}' localhost:8400/fleet/register
+//	curl localhost:8400/fleet/stats
+//	curl localhost:8400/metrics          # bluefi_fleet_* rollups
+//
+// SIGINT/SIGTERM drains the shards gracefully: in-flight syntheses
+// finish (up to -drain-timeout), new operations are refused.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"bluefi"
+	"bluefi/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8400", "listen address for the control plane and telemetry")
+	aps := flag.Int("aps", 64, "simulated access points")
+	channels := flag.String("channels", "3", "comma-separated WiFi channels per AP (one shard each)")
+	workers := flag.Int("workers", 1, "synthesis workers per shard")
+	cacheEntries := flag.Int("cache", 4096, "PSDU cache bound in entries")
+	budget := flag.Float64("budget", 0.02, "per-AP beacon airtime budget (fraction of the carrier)")
+	quality := flag.Bool("quality", false, "synthesize in Quality mode (default RealTime)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	flag.Parse()
+
+	if err := run(*addr, *aps, *channels, *workers, *cacheEntries, *budget, *quality, *drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "bluefi-fleet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, aps int, channels string, workers, cacheEntries int, budget float64, quality bool, drainTimeout time.Duration) error {
+	var chs []int
+	for _, part := range strings.Split(channels, ",") {
+		ch, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return fmt.Errorf("bad -channels %q: %w", channels, err)
+		}
+		chs = append(chs, ch)
+	}
+	mode := bluefi.RealTime
+	if quality {
+		mode = bluefi.Quality
+	}
+	reg := bluefi.NewTelemetry()
+	f, err := fleet.New(fleet.Config{
+		APs:           aps,
+		ChannelsPerAP: chs,
+		ShardWorkers:  workers,
+		CacheEntries:  cacheEntries,
+		APAirtimeCap:  budget,
+		Synth:         bluefi.Options{Mode: mode, Telemetry: reg},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", reg.Handler())
+	mux.Handle("/fleet/", fleet.Handler(f))
+	srv := &http.Server{Handler: mux}
+
+	fmt.Fprintf(os.Stderr, "bluefi-fleet: %d APs × %d channels (%d shards) on http://%s/fleet, telemetry on /metrics\n",
+		aps, len(chs), len(f.Shards()), ln.Addr())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	//bluefi:goroutine signal-driven graceful shutdown; exits with the process after the drain completes
+	go func() {
+		<-sigs
+		fmt.Fprintln(os.Stderr, "bluefi-fleet: draining shards...")
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := f.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-fleet: drain: %v\n", err)
+		}
+		_ = srv.Shutdown(ctx)
+	}()
+
+	if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "bluefi-fleet: drained, bye")
+	return nil
+}

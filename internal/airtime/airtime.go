@@ -8,8 +8,10 @@
 package airtime
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Config describes one throughput measurement scenario.
@@ -75,6 +77,119 @@ func (c Config) Series(seconds int) ([]float64, error) {
 		out[i] = v
 	}
 	return out, nil
+}
+
+// ErrBudgetExhausted reports a Reserve that would push an airtime
+// budget past its cap. The reservation is not applied.
+var ErrBudgetExhausted = errors.New("airtime: budget exhausted")
+
+// budgetEpsilon absorbs float accumulation error across many
+// Reserve/Release round trips, so a budget sized for exactly N slots
+// admits exactly N reservations.
+const budgetEpsilon = 1e-12
+
+// Budget is a concurrency-safe airtime account for one transmitter: a
+// cap of airtime seconds per wall second (a duty-cycle fraction) that
+// periodic traffic reserves against. The beacon fleet gives every AP
+// one Budget so beacon duty cannot degrade co-channel WiFi beyond the
+// configured share — the §4.5 result (a 10 Hz beacon costs ~1 Mb/s of
+// a 49 Mb/s link) is what the cap protects.
+//
+// A zero-cap budget is valid and refuses every positive reservation.
+type Budget struct {
+	mu sync.Mutex
+
+	capSeconds float64
+	used       float64 // guarded by mu
+}
+
+// NewBudget returns a budget capped at capSeconds of airtime per
+// second. Negative caps are treated as zero.
+func NewBudget(capSeconds float64) *Budget {
+	if capSeconds < 0 {
+		capSeconds = 0
+	}
+	return &Budget{capSeconds: capSeconds}
+}
+
+// Cap returns the configured airtime cap in seconds per second.
+func (b *Budget) Cap() float64 { return b.capSeconds }
+
+// Used returns the currently reserved airtime in seconds per second.
+func (b *Budget) Used() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Remaining returns the unreserved airtime in seconds per second.
+func (b *Budget) Remaining() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	r := b.capSeconds - b.used
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Reserve claims d seconds-per-second of airtime, failing with
+// ErrBudgetExhausted (and leaving the account unchanged) when the claim
+// would exceed the cap. Non-positive claims are rejected outright: a
+// zero-airtime beacon is a bookkeeping bug, not a free ride.
+func (b *Budget) Reserve(d float64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.reserveLocked(d)
+}
+
+// reserveLocked is Reserve's body; the caller holds mu.
+func (b *Budget) reserveLocked(d float64) error {
+	if d <= 0 {
+		return fmt.Errorf("airtime: non-positive reservation %g", d)
+	}
+	if b.used+d > b.capSeconds+budgetEpsilon {
+		return ErrBudgetExhausted
+	}
+	b.used += d
+	return nil
+}
+
+// Release returns d seconds-per-second of airtime to the budget,
+// clamping at zero so over-release cannot mint capacity.
+func (b *Budget) Release(d float64) {
+	if d <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.used -= d
+	if b.used < 0 {
+		b.used = 0
+	}
+}
+
+// Swap atomically replaces a held reservation: it reserves `reserve`
+// and releases `release` as one operation, so a beacon update can move
+// to a new duty without a window where its old share is freed but the
+// new one not yet held (or vice versa). On ErrBudgetExhausted the old
+// reservation stays in place.
+func (b *Budget) Swap(release, reserve float64) error {
+	if release < 0 {
+		release = 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	prev := b.used
+	b.used -= release
+	if b.used < 0 {
+		b.used = 0
+	}
+	if err := b.reserveLocked(reserve); err != nil {
+		b.used = prev // the swap did not happen
+		return err
+	}
+	return nil
 }
 
 // Stats summarizes a series.

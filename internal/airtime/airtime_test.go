@@ -76,13 +76,125 @@ func TestShareClamp(t *testing.T) {
 }
 
 func TestSummarizeEmpty(t *testing.T) {
-	if s := Summarize(nil); s.Mean != 0 || s.Median != 0 {
-		t.Fatal("empty summary not zero")
+	if s := Summarize(nil); s != (Stats{}) {
+		t.Fatalf("empty summary %+v, want all-zero Stats", s)
+	}
+	if s := Summarize([]float64{}); s != (Stats{}) {
+		t.Fatalf("zero-length summary %+v, want all-zero Stats", s)
 	}
 	if s := Summarize([]float64{5}); s.Median != 5 || s.Mean != 5 {
 		t.Fatal("singleton summary wrong")
 	}
 	if s := Summarize([]float64{1, 3}); s.Median != 2 {
 		t.Fatalf("even-length median %g", s.Median)
+	}
+}
+
+// slotAirtime is one Bluetooth slot (625 µs) — the natural grain of a
+// beacon airtime reservation.
+const slotAirtime = 625e-6
+
+func TestBudgetZeroRefusesEverything(t *testing.T) {
+	b := NewBudget(0)
+	if err := b.Reserve(1e-9); err == nil {
+		t.Fatal("zero budget admitted a reservation")
+	}
+	if err := b.Reserve(slotAirtime); err == nil {
+		t.Fatal("zero budget admitted a slot")
+	}
+	if got := b.Remaining(); got != 0 {
+		t.Fatalf("zero budget remaining %g", got)
+	}
+	// Negative caps normalize to zero, not to "always admit".
+	if err := NewBudget(-1).Reserve(1e-9); err == nil {
+		t.Fatal("negative-cap budget admitted a reservation")
+	}
+}
+
+func TestBudgetSingleSlot(t *testing.T) {
+	// A budget sized for exactly one slot admits exactly one slot —
+	// float accumulation across the pair of calls must not eat it.
+	b := NewBudget(slotAirtime)
+	if err := b.Reserve(slotAirtime); err != nil {
+		t.Fatalf("single-slot budget refused its one slot: %v", err)
+	}
+	if err := b.Reserve(slotAirtime); err == nil {
+		t.Fatal("single-slot budget admitted a second slot")
+	}
+	b.Release(slotAirtime)
+	if err := b.Reserve(slotAirtime); err != nil {
+		t.Fatalf("released slot not reusable: %v", err)
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	b := NewBudget(10 * slotAirtime)
+	for i := 0; i < 10; i++ {
+		if err := b.Reserve(slotAirtime); err != nil {
+			t.Fatalf("reservation %d refused: %v", i, err)
+		}
+	}
+	err := b.Reserve(slotAirtime)
+	if err == nil {
+		t.Fatal("exhausted budget admitted an 11th slot")
+	}
+	if err != ErrBudgetExhausted {
+		t.Fatalf("exhaustion error %v, want ErrBudgetExhausted", err)
+	}
+	// A failed Reserve leaves the account unchanged.
+	if got := b.Used(); math.Abs(got-10*slotAirtime) > 1e-12 {
+		t.Fatalf("used %g after failed reserve, want %g", got, 10*slotAirtime)
+	}
+}
+
+func TestBudgetRejectsNonPositive(t *testing.T) {
+	b := NewBudget(1)
+	if err := b.Reserve(0); err == nil {
+		t.Fatal("zero reservation admitted")
+	}
+	if err := b.Reserve(-0.5); err == nil {
+		t.Fatal("negative reservation admitted")
+	}
+	if got := b.Used(); got != 0 {
+		t.Fatalf("used %g after invalid reserves", got)
+	}
+}
+
+func TestBudgetOverReleaseClamps(t *testing.T) {
+	b := NewBudget(slotAirtime)
+	if err := b.Reserve(slotAirtime); err != nil {
+		t.Fatal(err)
+	}
+	b.Release(10 * slotAirtime) // over-release must not mint capacity
+	if got := b.Used(); got != 0 {
+		t.Fatalf("used %g after over-release", got)
+	}
+	if err := b.Reserve(slotAirtime); err != nil {
+		t.Fatalf("budget unusable after over-release: %v", err)
+	}
+	if err := b.Reserve(slotAirtime); err == nil {
+		t.Fatal("over-release minted extra capacity")
+	}
+}
+
+func TestBudgetSwap(t *testing.T) {
+	b := NewBudget(3 * slotAirtime)
+	if err := b.Reserve(slotAirtime); err != nil {
+		t.Fatal(err)
+	}
+	// Grow the held reservation from 1 to 3 slots: fits only because the
+	// old slot is released as part of the same operation.
+	if err := b.Swap(slotAirtime, 3*slotAirtime); err != nil {
+		t.Fatalf("swap within cap refused: %v", err)
+	}
+	if got := b.Used(); math.Abs(got-3*slotAirtime) > 1e-12 {
+		t.Fatalf("used %g after swap, want %g", got, 3*slotAirtime)
+	}
+	// An overshooting swap fails and leaves the old reservation held.
+	if err := b.Swap(slotAirtime, 2*slotAirtime); err == nil {
+		t.Fatal("swap past cap admitted")
+	}
+	if got := b.Used(); math.Abs(got-3*slotAirtime) > 1e-12 {
+		t.Fatalf("used %g after failed swap, want %g", got, 3*slotAirtime)
 	}
 }

@@ -17,7 +17,7 @@ import (
 func TestDeterminism(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), determinism.Analyzer,
 		"bluefi/internal/core", "sim/noise", "bluefi/internal/obs",
-		"bluefi/internal/faults")
+		"bluefi/internal/faults", "bluefi/internal/fleet")
 }
 
 // TestStrictAnnotationMigration is the migration fixture for the move

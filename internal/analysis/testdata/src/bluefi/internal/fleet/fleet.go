@@ -1,0 +1,66 @@
+// Strict-tier determinism fixture for the beacon-CDN serving layer:
+// this fake package is annotated //bluefi:strict because the real
+// internal/fleet guarantees byte-identical cache contents and emission
+// schedules for a fixed operation sequence. A serving daemon is exactly
+// where nondeterminism creeps in — map-ordered shard walks, wall-clock
+// eviction stamps, scheduler-raced selects — so each banned idiom has a
+// fixture case next to its sanctioned replacement.
+//
+//bluefi:strict
+package fleet
+
+import (
+	"sort"
+	"time"
+)
+
+type shard struct {
+	id      int
+	beacons []string
+}
+
+// exportSchedule walks shards by map order — the classic way two runs
+// of the same fleet print different schedules.
+func exportSchedule(shards map[int]*shard) []string {
+	var out []string
+	for _, sh := range shards { // want `map iteration order is nondeterministic`
+		out = append(out, sh.beacons...)
+	}
+	return out
+}
+
+// exportScheduleOrdered is the sanctioned shape: resolve keys, sort,
+// index — no diagnostics expected.
+func exportScheduleOrdered(ids []int, shards map[int]*shard) []string {
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	var out []string
+	for _, id := range sorted {
+		out = append(out, shards[id].beacons...)
+	}
+	return out
+}
+
+// stampEviction reads the wall clock to order cache evictions, so
+// replaying the same operations evicts different entries.
+func stampEviction() int64 {
+	return time.Now().UnixNano() // want `time.Now reads the wall clock`
+}
+
+// raceForSlot lets the scheduler pick which registration wins a beacon
+// slot — admission order must come from the operation sequence instead.
+func raceForSlot(a, b chan string) string {
+	select { // want `select over 2 cases resolves by scheduler choice`
+	case id := <-a:
+		return id
+	case id := <-b:
+		return id
+	}
+}
+
+// awaitFlight is the sanctioned single-case shape: a plain receive on
+// an in-flight synthesis blocks without scheduler choice — no
+// diagnostics expected.
+func awaitFlight(done chan struct{}) {
+	<-done
+}

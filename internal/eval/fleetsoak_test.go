@@ -1,0 +1,95 @@
+package eval
+
+import (
+	"runtime"
+	"testing"
+
+	"bluefi"
+)
+
+// smallSoak is a CI-speed configuration: 4 unique payloads keep real
+// synthesis under a second while still exercising ramp, churn, budget
+// and digest paths.
+func smallSoak(seed int64) FleetSoakConfig {
+	return FleetSoakConfig{
+		APs:            4,
+		Beacons:        200,
+		UniquePayloads: 4,
+		ChurnOps:       60,
+		Seed:           seed,
+		Mode:           bluefi.RealTime,
+	}
+}
+
+func TestFleetSoakSmoke(t *testing.T) {
+	r, err := FleetSoak(smallSoak(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Ramp) == 0 {
+		t.Fatal("no capacity points")
+	}
+	last := r.Ramp[len(r.Ramp)-1]
+	if last.Beacons != 200 || last.Failures != 0 {
+		t.Fatalf("final level %+v", last)
+	}
+	if last.CacheHitRate < 0.9 {
+		t.Fatalf("cumulative hit rate %.3f with %d beacons over %d payloads — caching broken",
+			last.CacheHitRate, r.Beacons, r.UniquePayloads)
+	}
+	if r.SteadyStateHitRate < 0.9 {
+		t.Fatalf("steady-state hit rate %.3f under the 0.90 gate", r.SteadyStateHitRate)
+	}
+	if r.Syntheses > uint64(r.UniquePayloads) {
+		t.Fatalf("%d syntheses for %d unique payloads — singleflight or keying broken",
+			r.Syntheses, r.UniquePayloads)
+	}
+	if r.CacheDigest == "" || r.ScheduleDigest == "" {
+		t.Fatal("empty digests")
+	}
+	// p99 must be a real measurement (spans time even without telemetry).
+	if last.P99LatencySeconds <= 0 {
+		t.Fatalf("p99 latency %g, want > 0", last.P99LatencySeconds)
+	}
+	t.Logf("\n%s", FormatFleetSoak(r))
+}
+
+// TestFleetSoakDeterministicAcrossParallelism is the SweepParallel-style
+// gate: a fixed seed yields byte-identical cache contents and emission
+// schedules at GOMAXPROCS 1, 4 and 8.
+func TestFleetSoakDeterministicAcrossParallelism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var cacheDigest, schedDigest string
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		r, err := FleetSoak(smallSoak(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cacheDigest == "" {
+			cacheDigest, schedDigest = r.CacheDigest, r.ScheduleDigest
+			continue
+		}
+		if r.CacheDigest != cacheDigest {
+			t.Fatalf("GOMAXPROCS=%d cache digest %s, want %s", procs, r.CacheDigest, cacheDigest)
+		}
+		if r.ScheduleDigest != schedDigest {
+			t.Fatalf("GOMAXPROCS=%d schedule digest %s, want %s", procs, r.ScheduleDigest, schedDigest)
+		}
+	}
+}
+
+func TestFleetSoakSeedSensitivity(t *testing.T) {
+	a, err := FleetSoak(smallSoak(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FleetSoak(smallSoak(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ScheduleDigest == b.ScheduleDigest {
+		t.Fatal("distinct seeds produced identical schedules — seed unused")
+	}
+}

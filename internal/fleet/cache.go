@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"container/list"
+	"encoding/binary"
+	"sort"
+	"sync"
+)
+
+// Entry is one cached synthesis product: everything a shard needs to
+// emit the advertisement, with the heavy synthesis state (waveform,
+// scratch) deliberately dropped. A million-advertiser steady state
+// holds Entries, not Packets: the PSDU bytes plus a few scalars.
+type Entry struct {
+	Key                 Key     `json:"key"`
+	PSDU                []byte  `json:"-"`
+	MCS                 int     `json:"mcs"`
+	WiFiChannel         int     `json:"wifiChannel"`
+	FrequencyMHz        float64 `json:"frequencyMHz"`
+	AirtimeSeconds      float64 `json:"airtimeSeconds"`
+	Fidelity            float64 `json:"fidelity"`
+	RehearsalMismatches int     `json:"rehearsalMismatches"`
+}
+
+// entryOverheadBytes approximates the fixed cost of one resident entry
+// (struct, map and list bookkeeping) for the byte accounting.
+const entryOverheadBytes = 160
+
+func (e *Entry) sizeBytes() int64 { return int64(len(e.PSDU)) + entryOverheadBytes }
+
+// Outcome classifies one cache lookup.
+type Outcome int
+
+// Cache lookup outcomes.
+const (
+	// Hit: the entry was resident.
+	Hit Outcome = iota
+	// Miss: this caller ran the synthesis and inserted the entry.
+	Miss
+	// Coalesced: another caller was already synthesizing the same key;
+	// this one waited for that flight instead of synthesizing again.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// flight is one in-progress synthesis; waiters block on done and read
+// entry/err afterwards (written once, before done is closed).
+type flight struct {
+	done  chan struct{}
+	entry *Entry
+	err   error
+}
+
+// cacheWay is one lock shard of the cache: an LRU list plus the
+// in-flight table for singleflight de-duplication.
+type cacheWay struct {
+	mu sync.Mutex
+
+	max    int
+	lru    *list.List            // of *Entry, front = most recent; guarded by mu
+	byKey  map[Key]*list.Element // guarded by mu
+	flying map[Key]*flight       // guarded by mu
+	bytes  int64                 // guarded by mu
+
+	hits, misses, coalesced, evictions uint64 // guarded by mu
+}
+
+// Cache is the content-addressed PSDU store: synthesis products keyed
+// by DeriveKey, sharded W ways by key hash so shards contend only when
+// they actually share content, with per-way LRU bounds and singleflight
+// so concurrent registrations of one payload synthesize exactly once.
+//
+// Residency is deterministic for a deterministic operation order: with
+// ways=1 (or any load whose per-way operation order is fixed) the same
+// sequence of lookups yields byte-identical contents; eviction order is
+// pure LRU. The soak's determinism gate additionally sizes the cache so
+// the working set is never evicted, making the resident key set
+// order-independent outright.
+type Cache struct {
+	ways []*cacheWay
+	met  *metrics
+}
+
+// NewCache builds a cache bounded at maxEntries resident entries total,
+// sharded across ways locks. Non-positive arguments are clamped to 1.
+func NewCache(maxEntries, ways int, met *metrics) *Cache {
+	if ways < 1 {
+		ways = 1
+	}
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	perWay := (maxEntries + ways - 1) / ways
+	c := &Cache{met: met}
+	for i := 0; i < ways; i++ {
+		c.ways = append(c.ways, &cacheWay{
+			max:    perWay,
+			lru:    list.New(),
+			byKey:  make(map[Key]*list.Element),
+			flying: make(map[Key]*flight),
+		})
+	}
+	return c
+}
+
+// way picks the lock shard for a key.
+func (c *Cache) way(k Key) *cacheWay {
+	return c.ways[binary.LittleEndian.Uint64(k[:8])%uint64(len(c.ways))]
+}
+
+// GetOrSynth returns the entry for key, synthesizing it with synth on
+// a miss. Concurrent calls for one key share a single synth invocation
+// (the others block until it lands and see its result). A failed synth
+// is not cached: every waiter gets the error, and the next caller
+// retries.
+func (c *Cache) GetOrSynth(key Key, synth func() (*Entry, error)) (*Entry, Outcome, error) {
+	w := c.way(key)
+	w.mu.Lock()
+	if el, ok := w.byKey[key]; ok {
+		w.lru.MoveToFront(el)
+		w.hits++
+		w.mu.Unlock()
+		c.met.cacheHit()
+		return el.Value.(*Entry), Hit, nil
+	}
+	if fl, ok := w.flying[key]; ok {
+		w.coalesced++
+		w.mu.Unlock()
+		c.met.cacheCoalesced()
+		<-fl.done
+		return fl.entry, Coalesced, fl.err
+	}
+	fl := &flight{done: make(chan struct{})}
+	w.flying[key] = fl
+	w.misses++
+	w.mu.Unlock()
+	c.met.cacheMiss()
+
+	fl.entry, fl.err = synth()
+
+	w.mu.Lock()
+	delete(w.flying, key)
+	if fl.err == nil {
+		w.insertLocked(key, fl.entry, c.met)
+	}
+	w.mu.Unlock()
+	close(fl.done)
+	return fl.entry, Miss, fl.err
+}
+
+// Peek returns the resident entry for key without promoting it, or nil.
+func (c *Cache) Peek(key Key) *Entry {
+	w := c.way(key)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if el, ok := w.byKey[key]; ok {
+		return el.Value.(*Entry)
+	}
+	return nil
+}
+
+// insertLocked makes e resident and evicts over-capacity LRU tails;
+// the caller holds w.mu.
+func (w *cacheWay) insertLocked(key Key, e *Entry, met *metrics) {
+	if el, ok := w.byKey[key]; ok {
+		// A racing flight for the same key already landed (possible only
+		// through Warm); keep the resident one.
+		w.lru.MoveToFront(el)
+		return
+	}
+	w.byKey[key] = w.lru.PushFront(e)
+	w.bytes += e.sizeBytes()
+	met.cacheResident(1, e.sizeBytes())
+	for w.lru.Len() > w.max {
+		tail := w.lru.Back()
+		old := tail.Value.(*Entry)
+		w.lru.Remove(tail)
+		delete(w.byKey, old.Key)
+		w.bytes -= old.sizeBytes()
+		w.evictions++
+		met.cacheEvicted(old.sizeBytes())
+	}
+}
+
+// Warm inserts an already-synthesized entry (tests, cache priming).
+func (c *Cache) Warm(e *Entry) {
+	w := c.way(e.Key)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.insertLocked(e.Key, e, c.met)
+}
+
+// CacheStats is the aggregate cache telemetry snapshot.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Coalesced uint64 `json:"coalesced"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// HitRate returns hits/(hits+misses); coalesced lookups count as hits —
+// they did not pay a synthesis.
+func (s CacheStats) HitRate() float64 {
+	served := s.Hits + s.Coalesced
+	total := served + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(served) / float64(total)
+}
+
+// Stats aggregates across the ways.
+func (c *Cache) Stats() CacheStats {
+	var out CacheStats
+	for _, w := range c.ways {
+		w.mu.Lock()
+		out.Entries += w.lru.Len()
+		out.Bytes += w.bytes
+		out.Hits += w.hits
+		out.Misses += w.misses
+		out.Coalesced += w.coalesced
+		out.Evictions += w.evictions
+		w.mu.Unlock()
+	}
+	return out
+}
+
+// resident returns every resident entry sorted by key — the canonical
+// order for the cache-contents digest. Iteration walks the LRU lists,
+// never a map, so the listing itself is deterministic.
+func (c *Cache) resident() []*Entry {
+	var out []*Entry
+	for _, w := range c.ways {
+		w.mu.Lock()
+		for el := w.lru.Front(); el != nil; el = el.Next() {
+			out = append(out, el.Value.(*Entry))
+		}
+		w.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Key, out[j].Key
+		for x := range a {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return false
+	})
+	return out
+}

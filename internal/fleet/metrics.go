@@ -1,0 +1,127 @@
+package fleet
+
+import "bluefi/internal/obs"
+
+// metrics holds the fleet-wide telemetry rollups; a nil *metrics (no
+// registry) disables every record site at one branch each. Per-shard
+// detail is deliberately not a label dimension — 64+ shards would
+// explode series cardinality; /fleet/stats carries the per-shard view.
+type metrics struct {
+	hits      *obs.Counter
+	misses    *obs.Counter
+	coalesced *obs.Counter
+	evictions *obs.Counter
+	entries   *obs.Gauge
+	bytes     *obs.Gauge
+
+	beacons   *obs.Gauge
+	registers *obs.Counter
+	updates   *obs.Counter
+	expires   *obs.Counter
+	rejects   *obs.Counter
+	errors    *obs.Counter
+
+	regLatency *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	if r == nil {
+		return nil
+	}
+	return &metrics{
+		hits:      r.Counter("bluefi_fleet_cache_hits_total", "registrations served by a resident PSDU"),
+		misses:    r.Counter("bluefi_fleet_cache_misses_total", "registrations that paid a synthesis"),
+		coalesced: r.Counter("bluefi_fleet_cache_coalesced_total", "registrations that waited on another caller's in-flight synthesis"),
+		evictions: r.Counter("bluefi_fleet_cache_evictions_total", "entries dropped by the LRU bound"),
+		entries:   r.Gauge("bluefi_fleet_cache_entries", "resident PSDU cache entries"),
+		bytes:     r.Gauge("bluefi_fleet_cache_bytes", "resident PSDU cache size"),
+
+		beacons:   r.Gauge("bluefi_fleet_beacons", "live registered beacons across all shards"),
+		registers: r.Counter("bluefi_fleet_registers_total", "successful beacon registrations"),
+		updates:   r.Counter("bluefi_fleet_updates_total", "successful beacon updates"),
+		expires:   r.Counter("bluefi_fleet_expires_total", "successful beacon expirations"),
+		rejects:   r.Counter("bluefi_fleet_budget_rejects_total", "registrations refused by a per-AP airtime budget"),
+		errors:    r.Counter("bluefi_fleet_errors_total", "failed fleet operations (validation, synthesis, routing)"),
+
+		regLatency: r.Histogram("bluefi_fleet_register_seconds",
+			"beacon-slot latency: registration accepted to PSDU ready and slot assigned",
+			obs.ExpBuckets(1e-6, 4, 14)),
+	}
+}
+
+func (m *metrics) cacheHit() {
+	if m == nil {
+		return
+	}
+	m.hits.Inc()
+}
+
+func (m *metrics) cacheMiss() {
+	if m == nil {
+		return
+	}
+	m.misses.Inc()
+}
+
+func (m *metrics) cacheCoalesced() {
+	if m == nil {
+		return
+	}
+	m.coalesced.Inc()
+}
+
+func (m *metrics) cacheResident(entries int64, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.entries.Add(entries)
+	m.bytes.Add(bytes)
+}
+
+func (m *metrics) cacheEvicted(bytes int64) {
+	if m == nil {
+		return
+	}
+	m.evictions.Inc()
+	m.entries.Dec()
+	m.bytes.Add(-bytes)
+}
+
+func (m *metrics) registered(latencySeconds float64) {
+	if m == nil {
+		return
+	}
+	m.registers.Inc()
+	m.beacons.Inc()
+	m.regLatency.Observe(latencySeconds)
+}
+
+func (m *metrics) updated(latencySeconds float64) {
+	if m == nil {
+		return
+	}
+	m.updates.Inc()
+	m.regLatency.Observe(latencySeconds)
+}
+
+func (m *metrics) expired() {
+	if m == nil {
+		return
+	}
+	m.expires.Inc()
+	m.beacons.Dec()
+}
+
+func (m *metrics) rejected() {
+	if m == nil {
+		return
+	}
+	m.rejects.Inc()
+}
+
+func (m *metrics) failed() {
+	if m == nil {
+		return
+	}
+	m.errors.Inc()
+}
