@@ -72,7 +72,7 @@ race: vet
 .PHONY: chaos
 chaos:
 	go test -race -count=1 ./internal/faults ./internal/a2dp ./internal/btrx
-	go test -race -count=1 -run TestChaos .
+	go test -race -count=1 -timeout 30m -run TestChaos .
 
 # E2E tier: the TX→RX loopback conformance rig under the race detector.
 # Every synthesis mode (BLE beacon, BR, EDR) goes through the public API,
@@ -116,6 +116,20 @@ obs-overhead:
 .PHONY: alloc-gate
 alloc-gate:
 	go run ./cmd/bluefi-eval -alloc-gate
+
+# SLO gate: the alerting layer's acceptance loop. The package tests
+# cover the burn-rate math, the hysteresis ladder and the flight
+# recorder's bundle contract under the race detector; the bluefi-eval
+# replay then drives the chaos storm through the engine and gates on
+# the operating contract — exactly one Page episode (opened within one
+# fast window of the storm, held together by hysteresis), recovery to
+# OK once the fault budget is spent, and a validated flight bundle
+# dumped by the page hook into flight/ (uploaded as the CI artifact on
+# failure). See DESIGN.md §13.
+.PHONY: slo-gate
+slo-gate:
+	go test -race -count=1 ./internal/obs/...
+	go run ./cmd/bluefi-eval -slo
 
 # Fleet soak tier: the beacon-CDN capacity experiment (internal/fleet +
 # internal/eval). The package tests cover cache/budget/shard invariants

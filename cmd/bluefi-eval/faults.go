@@ -39,13 +39,13 @@ var faultScenarios = map[string]bluefi.FaultPlan{
 
 // degradationReport is the JSON row appended to the snapshot.
 type degradationReport struct {
-	Scenario   string           `json:"scenario"`
-	Seed       int64            `json:"seed"`
-	Sends      int              `json:"sends"`
-	Injected   int64            `json:"injectedFaults"`
-	ShipFrac   float64          `json:"shippedFraction"`
-	Recovered  bool             `json:"recoveredToHealthy"`
-	FinalState string           `json:"finalState"`
+	Scenario   string                   `json:"scenario"`
+	Seed       int64                    `json:"seed"`
+	Sends      int                      `json:"sends"`
+	Injected   int64                    `json:"injectedFaults"`
+	ShipFrac   float64                  `json:"shippedFraction"`
+	Recovered  bool                     `json:"recoveredToHealthy"`
+	FinalState string                   `json:"finalState"`
 	Stream     bluefi.DegradationReport `json:"stream"`
 }
 

@@ -10,6 +10,7 @@
 //	bluefi-eval -obs-overhead          # telemetry overhead gate (CI)
 //	bluefi-eval -alloc-gate            # §4.8 allocs/op regression gate vs BENCH_eval.json (CI)
 //	bluefi-eval -faults storm          # chaos scenario → degradation report
+//	bluefi-eval -slo                   # storm replay through the SLO burn-rate engine (CI gate)
 //	bluefi-eval -e2e                   # TX→RX conformance matrix → scanner PDR snapshot
 //	bluefi-eval -fleet :8400           # beacon-CDN control plane + telemetry
 //	bluefi-eval -fleet-soak            # capacity soak + cache-hit-rate gate (CI)
@@ -34,6 +35,8 @@ func main() {
 	serveWorkers := flag.Int("serve-workers", 2, "pool workers for the -serve workload")
 	obsOverhead := flag.Bool("obs-overhead", false, "measure telemetry overhead on BenchmarkSynthesize and fail if attached/disabled ns/op exceeds 1.05")
 	faultsScenario := flag.String("faults", "", "run a chaos scenario (panics, latency, interference, storm) and append its degradation report to -bench-out")
+	sloReplay := flag.Bool("slo", false, "replay the storm scenario through the SLO burn-rate engine, gate on exactly one page episode + recovery + a valid flight bundle, and append the episode summary to -bench-out")
+	flightDir := flag.String("flight-dir", "flight", "directory for flight-recorder bundles (-slo, -serve, -fleet)")
 	e2e := flag.Bool("e2e", false, "run the loopback conformance matrix (BLE/BR/EDR through channel and scanner) and append the scanner PDR snapshot to -bench-out")
 	allocGate := flag.Bool("alloc-gate", false, "re-measure §4.8 real-time allocs/op and fail if it exceeds the committed -bench-out snapshot by more than 5%")
 	fleetAddr := flag.String("fleet", "", "serve the beacon-CDN fleet control plane (/fleet/register|update|expire|stats) plus telemetry on this address (e.g. :8400), instead of figures")
@@ -57,7 +60,7 @@ func main() {
 		return
 	}
 	if *fleetAddr != "" {
-		if err := runFleetServe(*fleetAddr, *fleetAPs, *serveWorkers); err != nil {
+		if err := runFleetServe(*fleetAddr, *fleetAPs, *serveWorkers, *flightDir); err != nil {
 			fmt.Fprintf(os.Stderr, "bluefi-eval: fleet: %v\n", err)
 			os.Exit(1)
 		}
@@ -86,8 +89,15 @@ func main() {
 		}
 		return
 	}
+	if *sloReplay {
+		if err := runSLO(*benchOut, *flightDir); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: slo: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serve != "" {
-		if err := runServe(*serve, *serveWorkers); err != nil {
+		if err := runServe(*serve, *serveWorkers, *flightDir); err != nil {
 			fmt.Fprintf(os.Stderr, "bluefi-eval: serve: %v\n", err)
 			os.Exit(1)
 		}

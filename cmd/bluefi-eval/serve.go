@@ -1,29 +1,34 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"bluefi"
+	"bluefi/internal/obs/flight"
+	"bluefi/internal/obs/slo"
 )
 
 // runServe exposes the telemetry endpoints (/metrics, /metrics.json,
 // /traces — plus /health, the audio stream's degradation state and
-// report) while a continuous synthesis workload exercises every
-// instrumented path: pooled beacon/BR batches plus an A2DP audio stream.
-// It is the live counterpart of the figure runs — point a Prometheus
-// scraper (or curl) at it and watch the stage histograms fill.
+// report, /debug/slo and /debug/flight) while a continuous synthesis
+// workload exercises every instrumented path: pooled beacon/BR batches
+// plus an A2DP audio stream. It is the live counterpart of the figure
+// runs — point a Prometheus scraper (or curl) at it and watch the
+// stage histograms fill.
 //
 // bluefi_eval_core_timings_nanoseconds_total accumulates
 // Packet.Timings().Total() across the workload; the per-stage histogram
 // sums in bluefi_core_stage_seconds must stay within ±5% of it — the
 // consistency contract between the span-fed histograms and the absorbed
 // Timings plumbing.
-func runServe(addr string, workers int) error {
+func runServe(addr string, workers int, flightDir string) error {
 	reg := bluefi.NewTelemetry()
 	timingsNS := reg.Counter("bluefi_eval_core_timings_nanoseconds_total",
 		"sum of Packet.Timings().Total() over the serve workload")
@@ -45,6 +50,28 @@ func runServe(addr string, workers int) error {
 		return err
 	}
 
+	// Flight recorder + SLO engine over the stream's own accounting:
+	// delivery (shipped vs dropped frames) and healthy airtime (625 µs
+	// slots spent outside degradation). A Page dumps a bundle.
+	rec := flight.New(reg, 0)
+	rec.Attach(reg)
+	eng := slo.NewEngine(reg)
+	for _, spec := range audioSLOSpecs(stream) {
+		eng.Add(spec)
+	}
+	eng.OnPage(func(ep slo.Episode) {
+		bundle, err := rec.Dump(flightDir, reg, "slo-page:"+ep.SLO)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: flight dump: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "bluefi-eval: SLO %s paged (peak burn %.1f) — flight bundle %s\n",
+			ep.SLO, ep.PeakBurn, bundle)
+	})
+	ctx, stopSLO := context.WithCancel(context.Background())
+	defer stopSLO()
+	eng.Start(ctx, time.Second)
+
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -54,6 +81,8 @@ func runServe(addr string, workers int) error {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", reg.Handler())
+	mux.Handle("/debug/slo", eng.Handler())
+	mux.Handle("/debug/flight/", http.StripPrefix("/debug/flight", rec.Handler(reg, flightDir)))
 	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(struct {

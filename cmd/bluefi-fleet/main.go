@@ -9,6 +9,16 @@
 //	          "addr":"c0:ff:ee:00:00:07"}]}' localhost:8400/fleet/register
 //	curl localhost:8400/fleet/stats
 //	curl localhost:8400/metrics          # bluefi_fleet_* rollups
+//	curl localhost:8400/debug/slo        # burn rates and alert states
+//	curl localhost:8400/debug/flight/    # recent flight-recorder events
+//	curl -X POST localhost:8400/debug/flight/dump   # on-demand bundle
+//
+// The daemon evaluates the fleet's canonical SLOs (registration
+// latency, cache hit rate, admission success) on a wall-clock tick and
+// keeps a black-box flight recorder attached to the registry's event
+// stream. The moment any SLO pages, a diagnostic bundle — events,
+// metrics, traces, goroutine and heap profiles — lands under
+// -flight-dir.
 //
 // SIGINT/SIGTERM drains the shards gracefully: in-flight syntheses
 // finish (up to -drain-timeout), new operations are refused.
@@ -29,26 +39,50 @@ import (
 
 	"bluefi"
 	"bluefi/internal/fleet"
+	"bluefi/internal/obs/flight"
+	"bluefi/internal/obs/slo"
 )
 
+// options carries the parsed flags into run.
+type options struct {
+	addr         string
+	aps          int
+	channels     string
+	workers      int
+	cacheEntries int
+	budget       float64
+	quality      bool
+	drainTimeout time.Duration
+	sloInterval  time.Duration
+	flightDir    string
+	flightEvents int
+}
+
 func main() {
-	addr := flag.String("addr", ":8400", "listen address for the control plane and telemetry")
-	aps := flag.Int("aps", 64, "simulated access points")
-	channels := flag.String("channels", "3", "comma-separated WiFi channels per AP (one shard each)")
-	workers := flag.Int("workers", 1, "synthesis workers per shard")
-	cacheEntries := flag.Int("cache", 4096, "PSDU cache bound in entries")
-	budget := flag.Float64("budget", 0.02, "per-AP beacon airtime budget (fraction of the carrier)")
-	quality := flag.Bool("quality", false, "synthesize in Quality mode (default RealTime)")
-	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8400", "listen address for the control plane and telemetry")
+	flag.IntVar(&o.aps, "aps", 64, "simulated access points")
+	flag.StringVar(&o.channels, "channels", "3", "comma-separated WiFi channels per AP (one shard each)")
+	flag.IntVar(&o.workers, "workers", 1, "synthesis workers per shard")
+	flag.IntVar(&o.cacheEntries, "cache", 4096, "PSDU cache bound in entries")
+	flag.Float64Var(&o.budget, "budget", 0.02, "per-AP beacon airtime budget (fraction of the carrier)")
+	flag.BoolVar(&o.quality, "quality", false, "synthesize in Quality mode (default RealTime)")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", 30*time.Second, "graceful shutdown bound")
+	flag.DurationVar(&o.sloInterval, "slo-interval", time.Second, "SLO burn-rate evaluation tick")
+	flag.StringVar(&o.flightDir, "flight-dir", "flight", "directory for flight-recorder bundles (dumped on SLO page or POST /debug/flight/dump)")
+	flag.IntVar(&o.flightEvents, "flight-events", 4096, "flight-recorder event ring bound")
 	flag.Parse()
 
-	if err := run(*addr, *aps, *channels, *workers, *cacheEntries, *budget, *quality, *drainTimeout); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "bluefi-fleet: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, aps int, channels string, workers, cacheEntries int, budget float64, quality bool, drainTimeout time.Duration) error {
+func run(o options) error {
+	addr, aps, channels := o.addr, o.aps, o.channels
+	workers, cacheEntries, budget := o.workers, o.cacheEntries, o.budget
+	quality, drainTimeout := o.quality, o.drainTimeout
 	var chs []int
 	for _, part := range strings.Split(channels, ",") {
 		ch, err := strconv.Atoi(strings.TrimSpace(part))
@@ -74,6 +108,29 @@ func run(addr string, aps int, channels string, workers, cacheEntries int, budge
 		return err
 	}
 
+	// Observability plane: flight recorder on the registry's event
+	// stream, SLO engine over the fleet's canonical objectives, and a
+	// page→bundle hook so the black box is written the moment an SLO
+	// trips — not when an operator remembers to ask.
+	rec := flight.New(reg, o.flightEvents)
+	rec.Attach(reg)
+	eng := slo.NewEngine(reg)
+	for _, spec := range f.SLOSpecs() {
+		eng.Add(spec)
+	}
+	eng.OnPage(func(ep slo.Episode) {
+		bundle, err := rec.Dump(o.flightDir, reg, "slo-page:"+ep.SLO)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-fleet: flight dump: %v\n", err)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "bluefi-fleet: SLO %s paged (peak burn %.1f) — flight bundle %s\n",
+			ep.SLO, ep.PeakBurn, bundle)
+	})
+	ctx, stopSLO := context.WithCancel(context.Background())
+	defer stopSLO()
+	eng.Start(ctx, o.sloInterval)
+
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -81,6 +138,8 @@ func run(addr string, aps int, channels string, workers, cacheEntries int, budge
 	mux := http.NewServeMux()
 	mux.Handle("/", reg.Handler())
 	mux.Handle("/fleet/", fleet.Handler(f))
+	mux.Handle("/debug/slo", eng.Handler())
+	mux.Handle("/debug/flight/", http.StripPrefix("/debug/flight", rec.Handler(reg, o.flightDir)))
 	srv := &http.Server{Handler: mux}
 
 	fmt.Fprintf(os.Stderr, "bluefi-fleet: %d APs × %d channels (%d shards) on http://%s/fleet, telemetry on /metrics\n",

@@ -147,6 +147,7 @@ type Decision struct {
 // govMetrics holds the Governor's telemetry handles; nil disables them
 // at one branch per record.
 type govMetrics struct {
+	reg         *obs.Registry // event sink for the flight recorder
 	state       *obs.Gauge
 	shipped     *obs.Counter
 	dropped     *obs.Counter
@@ -159,6 +160,7 @@ func newGovMetrics(r *obs.Registry) *govMetrics {
 		return nil
 	}
 	m := &govMetrics{
+		reg: r,
 		state: r.Gauge("bluefi_a2dp_health_state",
 			"stream degradation state (0 healthy, 1 degraded, 2 shedding)"),
 		shipped: r.Counter("bluefi_a2dp_frames_shipped_total",
@@ -195,6 +197,7 @@ func (m *govMetrics) transition(from, to Health) {
 		c.Inc()
 	}
 	m.state.Set(int64(to))
+	m.reg.Event("governor.transition", obs.L("from", from.String()), obs.L("to", to.String()))
 }
 
 func (m *govMetrics) observe(h Health, slots int) {

@@ -12,8 +12,11 @@ import (
 // names, scheme violations, wrong subsystem segments, kind/unit-suffix
 // mismatches, the label-cardinality ceiling, dynamic label keys, span
 // taxonomy violations and both suppression paths all diagnose. The
-// internal/obs stub itself is exempt (the registry's own code).
+// internal/obs stub itself is exempt (the registry's own code), but
+// its nested slo/flight packages are NOT — their bluefi_slo_* /
+// bluefi_flight_* families go through the full rule set.
 func TestObsnames(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), obsnames.Analyzer,
-		"bluefi/internal/beacon", "bluefi/internal/obs")
+		"bluefi/internal/beacon", "bluefi/internal/obs",
+		"bluefi/internal/obs/slo", "bluefi/internal/obs/flight")
 }

@@ -1,0 +1,20 @@
+// Package flight is the obsnames fixture for the flight recorder's
+// metric family — the bluefi_flight_* counters the recorder registers
+// on construction, plus the violations that must keep diagnosing as
+// the family grows.
+package flight
+
+import "bluefi/internal/obs"
+
+func conforming(r *obs.Registry) {
+	r.Counter("bluefi_flight_events_total", "events recorded into the ring")
+	r.Counter("bluefi_flight_dropped_total", "events overwritten in the bounded ring")
+	r.Counter("bluefi_flight_dumps_total", "bundles written")
+	r.Counter("bluefi_flight_dump_errors_total", "bundle writes that failed")
+}
+
+func violations(r *obs.Registry) {
+	r.Counter("bluefi_flight_events", "counter without _total") // want `counter "bluefi_flight_events" must end in _total`
+	r.Gauge("bluefi_flight_ring_total", "gauge with _total")    // want `gauge "bluefi_flight_ring_total" must not end in _total`
+	r.Counter("flight_events_total", "missing bluefi_ prefix")  // want `metric name "flight_events_total" does not match`
+}

@@ -1,0 +1,29 @@
+// Package slo is the obsnames fixture for the SLO engine's metric
+// family: nested under internal/obs (so it is NOT the exempt registry
+// package itself) with no internal/<pkg> tail, meaning the subsystem
+// segment is free — the scheme, kind-suffix and label rules still
+// apply. The conforming block mirrors the real bluefi_slo_* family.
+package slo
+
+import "bluefi/internal/obs"
+
+func conforming(r *obs.Registry) {
+	r.Counter("bluefi_slo_ticks_total", "evaluation ticks")
+	r.Counter("bluefi_slo_pages_total", "page episodes", obs.L("slo", "fleet_register_latency"))
+	r.Counter("bluefi_slo_transitions_total", "state transitions", obs.L("slo", "x"), obs.L("to", "ok"))
+	r.Gauge("bluefi_slo_state", "0 ok, 1 warn, 2 page", obs.L("slo", "x"))
+	// burn gauges export ×1000 — "milli" is a noun segment here, not a
+	// histogram unit suffix, and gauges carry no suffix rule.
+	r.Gauge("bluefi_slo_burn_fast_milli", "fast-window burn ×1000", obs.L("slo", "x"))
+	r.Gauge("bluefi_slo_burn_slow_milli", "slow-window burn ×1000", obs.L("slo", "x"))
+}
+
+func violations(r *obs.Registry) {
+	r.Counter("bluefi_slo_pages", "counter without _total")    // want `counter "bluefi_slo_pages" must end in _total`
+	r.Gauge("bluefi_slo_pages_total", "gauge claiming _total") // want `gauge "bluefi_slo_pages_total" must not end in _total`
+	r.Histogram("bluefi_slo_burn", "no unit suffix", nil)      // want `histogram "bluefi_slo_burn" must end in a unit suffix`
+	r.Counter("bluefi_sloPages_total", "camel-case segment")   // want `metric name "bluefi_sloPages_total" does not match bluefi_<subsystem>_<noun>\[_<unit>\]`
+	r.Gauge("bluefi_state", "too few segments for the scheme") // want `metric name "bluefi_state" does not match`
+	r.Counter("bluefi_slo_events_total", "over the label ceiling",
+		obs.L("a", "1"), obs.L("b", "2"), obs.L("c", "3"), obs.L("d", "4"), obs.L("e", "5")) // want `5 labels on one metric exceeds the cardinality ceiling of 4`
+}

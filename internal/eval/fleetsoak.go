@@ -109,6 +109,10 @@ type FleetSoakResult struct {
 	CacheBytes         int64   `json:"cacheBytes"`
 	CacheDigest        string  `json:"cacheDigest"`
 	ScheduleDigest     string  `json:"scheduleDigest"`
+	// Sketches is the O(k) cardinality-bounded view: hot content keys,
+	// hot shards, and the sketched slot-latency quantiles (within 1%
+	// relative error of the exact ramp percentiles above).
+	Sketches fleet.SketchSnapshot `json:"sketches"`
 }
 
 // soakPayload materializes unique advertisement #idx: iBeacon AD
@@ -269,6 +273,7 @@ func FleetSoak(cfg FleetSoakConfig) (*FleetSoakResult, error) {
 	res.CacheBytes = after.Bytes
 	res.CacheDigest = f.CacheDigest()
 	res.ScheduleDigest = f.ScheduleDigest()
+	res.Sketches = f.Sketches()
 	return res, nil
 }
 
@@ -299,5 +304,19 @@ func FormatFleetSoak(r *FleetSoakResult) string {
 	fmt.Fprintf(&sb, "steady-state hit rate %.2f%% over %d churn ops; %d syntheses total; cache %d entries / %d bytes\n",
 		r.SteadyStateHitRate*100, r.ChurnOps, r.Syntheses, r.CacheEntries, r.CacheBytes)
 	fmt.Fprintf(&sb, "cache digest    %s\nschedule digest %s\n", r.CacheDigest, r.ScheduleDigest)
+	if n := len(r.Sketches.HotShards); n > 0 {
+		fmt.Fprintf(&sb, "sketched slot latency p50 %.3fms p99 %.3fms (n=%d, %d buckets)\n",
+			r.Sketches.SlotLatency.P50*1e3, r.Sketches.SlotLatency.P99*1e3,
+			r.Sketches.SlotLatency.N, r.Sketches.SlotLatency.Buckets)
+		top := r.Sketches.HotShards
+		if len(top) > 4 {
+			top = top[:4]
+		}
+		fmt.Fprintf(&sb, "hot shards:")
+		for _, e := range top {
+			fmt.Fprintf(&sb, " %s×%d", e.Key, e.Count)
+		}
+		fmt.Fprintf(&sb, "; hot keys tracked: %d\n", len(r.Sketches.HotKeys))
+	}
 	return sb.String()
 }

@@ -134,6 +134,7 @@ type Injector struct {
 // faultMetrics holds the injector's telemetry handles; nil disables
 // them at one branch per record.
 type faultMetrics struct {
+	reg   *obs.Registry // event sink for the flight recorder
 	fired [numSites]*obs.Counter
 }
 
@@ -141,7 +142,7 @@ func newFaultMetrics(r *obs.Registry) *faultMetrics {
 	if r == nil {
 		return nil
 	}
-	m := &faultMetrics{}
+	m := &faultMetrics{reg: r}
 	for s := 0; s < numSites; s++ {
 		m.fired[s] = r.Counter("bluefi_faults_injected_total",
 			"faults fired by the deterministic injector", obs.L("kind", siteName[s]))
@@ -154,6 +155,7 @@ func (m *faultMetrics) record(site int) {
 		return
 	}
 	m.fired[site].Inc()
+	m.reg.Event("faults.injected", obs.L("kind", siteName[site]))
 }
 
 // New builds an injector for the plan; reg may be nil. A plan that

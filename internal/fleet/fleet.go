@@ -100,6 +100,14 @@ type Config struct {
 	// DefaultIntervalSlots is used when a registration leaves
 	// IntervalSlots zero (default 16000 slots = 10 s).
 	DefaultIntervalSlots uint64
+	// SketchTopK sizes the hot-key and hot-shard heavy-hitter sketches
+	// (default 32 slots each).
+	SketchTopK int
+	// SketchAlpha is the slot-latency quantile sketch's relative error
+	// (default 0.01).
+	SketchAlpha float64
+	// SketchMaxBuckets bounds the quantile sketch's memory (default 512).
+	SketchMaxBuckets int
 	// Synth configures every shard's synthesizers. WiFiChannel is
 	// overridden per shard; Telemetry (if set) also receives the
 	// bluefi_fleet_* rollups.
@@ -129,6 +137,15 @@ func (c Config) withDefaults() Config {
 	if c.DefaultIntervalSlots == 0 {
 		c.DefaultIntervalSlots = 16000
 	}
+	if c.SketchTopK == 0 {
+		c.SketchTopK = 32
+	}
+	if c.SketchAlpha == 0 {
+		c.SketchAlpha = 0.01
+	}
+	if c.SketchMaxBuckets == 0 {
+		c.SketchMaxBuckets = 512
+	}
 	return c
 }
 
@@ -139,6 +156,7 @@ type Fleet struct {
 	shards []*Shard // index = ap*len(cfg.ChannelsPerAP) + channelIndex
 	cache  *Cache
 	met    *metrics
+	sk     *sketches
 	obsCtx context.Context
 }
 
@@ -165,6 +183,7 @@ func New(cfg Config) (*Fleet, error) {
 		cfg:    cfg,
 		cache:  NewCache(cfg.CacheEntries, cfg.CacheWays, met),
 		met:    met,
+		sk:     newSketches(cfg),
 		obsCtx: obsCtx,
 	}
 	for ap := 0; ap < cfg.APs; ap++ {
@@ -187,6 +206,7 @@ func New(cfg Config) (*Fleet, error) {
 				budget:      budget,
 				cache:       f.cache,
 				met:         met,
+				sk:          f.sk,
 				obsCtx:      obsCtx,
 
 				chip:            int(opts.Chip),
@@ -310,9 +330,10 @@ func (f *Fleet) Expire(refs []BeaconRef) []Result {
 
 // Snapshot is the fleet-wide stats export.
 type Snapshot struct {
-	Beacons int             `json:"beacons"`
-	Shards  []ShardSnapshot `json:"shards"`
-	Cache   CacheStats      `json:"cache"`
+	Beacons  int             `json:"beacons"`
+	Shards   []ShardSnapshot `json:"shards"`
+	Cache    CacheStats      `json:"cache"`
+	Sketches SketchSnapshot  `json:"sketches"`
 }
 
 // Snapshot captures per-shard and cache state, shards in index order.
@@ -325,6 +346,7 @@ func (f *Fleet) Snapshot() Snapshot {
 		out.Shards = append(out.Shards, s)
 	}
 	out.Cache = f.cache.Stats()
+	out.Sketches = f.sk.snapshot(f.cfg.SketchTopK)
 	return out
 }
 

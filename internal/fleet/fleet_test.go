@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"bluefi/internal/obs"
 )
 
 // fakeEntry builds a cache entry without running synthesis.
@@ -460,5 +462,127 @@ func TestShardCompaction(t *testing.T) {
 	res := f.Expire([]BeaconRef{{ID: fmt.Sprintf("b%04d", n-1), AP: 0}})
 	if !res[0].OK() || res[0].Slot != n-1 {
 		t.Fatalf("post-compaction expire: %+v, want slot %d", res[0], n-1)
+	}
+}
+
+// TestStatsRaceWithRegister: /fleet/stats (Snapshot) runs concurrently
+// with bulk registers, updates and expiries. Under -race this is the
+// satellite check that per-shard queue depth and budget headroom reads
+// don't tear against admission writes.
+func TestStatsRaceWithRegister(t *testing.T) {
+	f := newTestFleet(t, Config{APs: 4})
+	srv := httptest.NewServer(Handler(f))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := srv.Client().Get(srv.URL + "/fleet/stats")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			var snap Snapshot
+			if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+				t.Error(err)
+			}
+			resp.Body.Close()
+			for _, sh := range snap.Shards {
+				if sh.QueueDepth < 0 || sh.BudgetHeadroom < 0 || sh.BudgetHeadroom > sh.AirtimeCap {
+					t.Errorf("implausible shard stats: %+v", sh)
+				}
+			}
+		}
+	}()
+	for batch := 0; batch < 20; batch++ {
+		regs := make([]Registration, 0, 8)
+		for i := 0; i < 8; i++ {
+			regs = append(regs, warm(f, fmt.Sprintf("b%d-%d", batch, i), i%4, byte(batch), 100e-6, 16000))
+		}
+		if res := f.Register(regs); !res[0].OK() {
+			t.Fatalf("register: %s", res[0].Error)
+		}
+		refs := make([]BeaconRef, 0, 4)
+		for i := 0; i < 4; i++ {
+			refs = append(refs, BeaconRef{ID: fmt.Sprintf("b%d-%d", batch, i), AP: i % 4})
+		}
+		f.Expire(refs)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSketchesTrackAdmissions: the fleet's heavy-hitter and latency
+// sketches fill from register traffic and surface in Snapshot.
+func TestSketchesTrackAdmissions(t *testing.T) {
+	f := newTestFleet(t, Config{APs: 2, SketchTopK: 8})
+	// One hot payload registered on many beacons of AP 0, a few cold.
+	regs := make([]Registration, 0, 40)
+	for i := 0; i < 32; i++ {
+		regs = append(regs, warm(f, fmt.Sprintf("hot%d", i), 0, 1, 100e-6, 16000))
+	}
+	for i := 0; i < 8; i++ {
+		regs = append(regs, warm(f, fmt.Sprintf("cold%d", i), 1, byte(10+i), 100e-6, 16000))
+	}
+	for _, r := range f.Register(regs) {
+		if !r.OK() {
+			t.Fatalf("register: %s", r.Error)
+		}
+	}
+	sk := f.Sketches()
+	if len(sk.HotKeys) == 0 || len(sk.HotShards) == 0 {
+		t.Fatalf("sketches empty: %+v", sk)
+	}
+	hotKey := DeriveKey(Params{
+		AD:   []byte{2, 0x01, 1},
+		Addr: [6]byte{0xc0, 0xff, 0xee, 0, 0, 1},
+		Chip: int(f.cfg.Synth.Chip), Mode: int(f.cfg.Synth.Mode),
+		WiFiChannel: f.cfg.ChannelsPerAP[0], BLEChannel: 38,
+	})
+	if sk.HotKeys[0].Key != hotKey.String() || sk.HotKeys[0].Count < 32 {
+		t.Fatalf("top key = %+v, want the hot payload with count ≥ 32", sk.HotKeys[0])
+	}
+	if sk.HotShards[0].Key != "ap0/ch3" || sk.HotShards[0].Count < 32 {
+		t.Fatalf("top shard = %+v, want ap0/ch3 ≥ 32", sk.HotShards[0])
+	}
+	if sk.SlotLatency.N != 40 || sk.SlotLatency.P99 <= 0 {
+		t.Fatalf("latency summary = %+v, want N=40 with positive p99", sk.SlotLatency)
+	}
+	if f.SlotLatencyP99() <= 0 {
+		t.Fatal("SlotLatencyP99 must be positive after admissions")
+	}
+}
+
+// TestSLOSpecs: without telemetry there are no specs; with it, the
+// indicators track the fleet counters.
+func TestSLOSpecs(t *testing.T) {
+	f := newTestFleet(t, Config{APs: 1})
+	if specs := f.SLOSpecs(); specs != nil {
+		t.Fatalf("SLOSpecs without telemetry = %d, want nil", len(specs))
+	}
+
+	cfg := Config{APs: 1}
+	cfg.Synth.Telemetry = obs.NewRegistry()
+	ft := newTestFleet(t, cfg)
+	specs := ft.SLOSpecs()
+	if len(specs) != 3 {
+		t.Fatalf("SLOSpecs = %d, want 3", len(specs))
+	}
+	if res := ft.Register([]Registration{warm(ft, "x", 0, 1, 100e-6, 16000)}); !res[0].OK() {
+		t.Fatalf("register: %s", res[0].Error)
+	}
+	for _, spec := range specs {
+		good, total := spec.Indicator()
+		if total <= 0 || good < 0 || good > total {
+			t.Errorf("%s indicator = (%g, %g), want 0 ≤ good ≤ total with traffic", spec.Name, good, total)
+		}
 	}
 }

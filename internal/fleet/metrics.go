@@ -7,6 +7,7 @@ import "bluefi/internal/obs"
 // detail is deliberately not a label dimension — 64+ shards would
 // explode series cardinality; /fleet/stats carries the per-shard view.
 type metrics struct {
+	reg       *obs.Registry // event sink for the flight recorder
 	hits      *obs.Counter
 	misses    *obs.Counter
 	coalesced *obs.Counter
@@ -29,6 +30,7 @@ func newMetrics(r *obs.Registry) *metrics {
 		return nil
 	}
 	return &metrics{
+		reg:       r,
 		hits:      r.Counter("bluefi_fleet_cache_hits_total", "registrations served by a resident PSDU"),
 		misses:    r.Counter("bluefi_fleet_cache_misses_total", "registrations that paid a synthesis"),
 		coalesced: r.Counter("bluefi_fleet_cache_coalesced_total", "registrations that waited on another caller's in-flight synthesis"),
@@ -85,6 +87,7 @@ func (m *metrics) cacheEvicted(bytes int64) {
 	m.evictions.Inc()
 	m.entries.Dec()
 	m.bytes.Add(-bytes)
+	m.reg.Event("fleet.cache_evict")
 }
 
 func (m *metrics) registered(latencySeconds float64) {
@@ -117,6 +120,7 @@ func (m *metrics) rejected() {
 		return
 	}
 	m.rejects.Inc()
+	m.reg.Event("fleet.budget_reject")
 }
 
 func (m *metrics) failed() {

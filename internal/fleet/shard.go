@@ -43,6 +43,7 @@ type Shard struct {
 	budget *airtime.Budget
 	cache  *Cache
 	met    *metrics
+	sk     *sketches
 	obsCtx context.Context
 
 	chip            int
@@ -52,12 +53,12 @@ type Shard struct {
 	defaultBLE      int
 
 	mu         sync.Mutex
-	closed     bool                 // guarded by mu
-	byID       map[string]int       // guarded by mu — id → index into beacons
-	beacons    []*beaconState       // guarded by mu — admission order; nil = expired
-	holes      int                  // guarded by mu
-	slotCursor uint64               // guarded by mu
-	live       int                  // guarded by mu
+	closed     bool           // guarded by mu
+	byID       map[string]int // guarded by mu — id → index into beacons
+	beacons    []*beaconState // guarded by mu — admission order; nil = expired
+	holes      int            // guarded by mu
+	slotCursor uint64         // guarded by mu
+	live       int            // guarded by mu
 }
 
 // AP returns the shard's access-point index.
@@ -201,6 +202,7 @@ func (sh *Shard) register(reg Registration, update bool) Result {
 		out.CacheOutcome = outcome.String()
 		out.LatencySeconds = sp.End().Seconds()
 		sh.met.updated(out.LatencySeconds)
+		sh.sk.admitted(key, sh.ap, sh.wifiChannel, out.LatencySeconds)
 		return out
 	case exists:
 		sh.mu.Unlock()
@@ -229,6 +231,7 @@ func (sh *Shard) register(reg Registration, update bool) Result {
 		out.CacheOutcome = outcome.String()
 		out.LatencySeconds = sp.End().Seconds()
 		sh.met.registered(out.LatencySeconds)
+		sh.sk.admitted(key, sh.ap, sh.wifiChannel, out.LatencySeconds)
 		return out
 	}
 }
@@ -326,14 +329,20 @@ func (sh *Shard) Schedule() []Emission {
 
 // ShardSnapshot is one shard's row in the fleet stats export.
 type ShardSnapshot struct {
-	AP             int     `json:"ap"`
-	WiFiChannel    int     `json:"wifiChannel"`
-	Beacons        int     `json:"beacons"`
-	SlotCursor     uint64  `json:"slotCursor"`
-	AirtimeUsed    float64 `json:"airtimeUsed"`
-	AirtimeCap     float64 `json:"airtimeCap"`
+	AP          int     `json:"ap"`
+	WiFiChannel int     `json:"wifiChannel"`
+	Beacons     int     `json:"beacons"`
+	SlotCursor  uint64  `json:"slotCursor"`
+	AirtimeUsed float64 `json:"airtimeUsed"`
+	AirtimeCap  float64 `json:"airtimeCap"`
+	// BudgetHeadroom is the AP budget's remaining duty-cycle capacity
+	// (shared across the AP's shards).
+	BudgetHeadroom float64 `json:"budgetHeadroom"`
 	PoolWorkers    int     `json:"poolWorkers"`
-	Closed         bool    `json:"closed,omitempty"`
+	// QueueDepth is the shard pool's backlog: jobs enqueued but not yet
+	// picked up by a worker.
+	QueueDepth int  `json:"queueDepth"`
+	Closed     bool `json:"closed,omitempty"`
 }
 
 // snapshot captures the shard's current state.
@@ -341,13 +350,15 @@ func (sh *Shard) snapshot() ShardSnapshot {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	return ShardSnapshot{
-		AP:          sh.ap,
-		WiFiChannel: sh.wifiChannel,
-		Beacons:     sh.live,
-		SlotCursor:  sh.slotCursor,
-		AirtimeUsed: sh.budget.Used(),
-		AirtimeCap:  sh.budget.Cap(),
-		PoolWorkers: sh.pool.Workers(),
-		Closed:      sh.closed,
+		AP:             sh.ap,
+		WiFiChannel:    sh.wifiChannel,
+		Beacons:        sh.live,
+		SlotCursor:     sh.slotCursor,
+		AirtimeUsed:    sh.budget.Used(),
+		AirtimeCap:     sh.budget.Cap(),
+		BudgetHeadroom: sh.budget.Remaining(),
+		PoolWorkers:    sh.pool.Workers(),
+		QueueDepth:     sh.pool.QueueDepth(),
+		Closed:         sh.closed,
 	}
 }

@@ -1,0 +1,233 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"bluefi/internal/obs"
+)
+
+// TestRecordThroughRegistry: events recorded via Registry.Event land in
+// the recorder with copied attrs, ordered by sequence.
+func TestRecordThroughRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := New(reg, 0)
+	rec.Attach(reg)
+
+	attrs := []obs.Label{obs.L("policy", "reject")}
+	reg.Event("pool.shed", attrs...)
+	attrs[0].Value = "mutated" // recorder must have copied
+	reg.Event("governor.transition", obs.L("to", "degraded"))
+
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	if evs[0].Kind != "pool.shed" || evs[0].Attrs[0].Value != "reject" {
+		t.Fatalf("event 0 = %+v (attrs must be copied at record time)", evs[0])
+	}
+	if evs[1].Kind != "governor.transition" || evs[1].Seq <= evs[0].Seq {
+		t.Fatalf("event 1 = %+v, want later seq", evs[1])
+	}
+}
+
+// TestBounded: the ring never exceeds its capacity, keeps the newest
+// events, and counts drops.
+func TestBounded(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := New(reg, 64)
+	rec.Attach(reg)
+	for i := 0; i < 1000; i++ {
+		reg.Event("e", obs.L("i", fmt.Sprint(i)))
+	}
+	if n := rec.Len(); n != 64 {
+		t.Fatalf("Len = %d, want 64", n)
+	}
+	evs := rec.Events()
+	// Every surviving event is from the most recent writes per shard.
+	for _, ev := range evs {
+		if ev.Seq <= 1000-8*64 {
+			t.Fatalf("stale event survived: seq %d", ev.Seq)
+		}
+	}
+	snap := reg.Snapshot()
+	var recorded, dropped int64
+	for _, fam := range snap.Families {
+		switch fam.Name {
+		case "bluefi_flight_events_total":
+			recorded = fam.Metrics[0].Value
+		case "bluefi_flight_dropped_total":
+			dropped = fam.Metrics[0].Value
+		}
+	}
+	if recorded != 1000 || dropped != 1000-64 {
+		t.Fatalf("recorded %d dropped %d, want 1000 / %d", recorded, dropped, 1000-64)
+	}
+}
+
+// TestConcurrentRecord: many goroutines record while readers snapshot;
+// run under -race this is the sharding correctness check.
+func TestConcurrentRecord(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := New(reg, 512)
+	rec.Attach(reg)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				reg.Event("spam", obs.L("g", fmt.Sprint(g)))
+				if i%100 == 0 {
+					rec.Events()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := rec.Events()
+	if len(evs) != 512 {
+		t.Fatalf("Len = %d, want full ring 512", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatal("events not strictly ordered by seq")
+		}
+	}
+}
+
+// TestDumpBundle: the bundle contains validated events, metrics,
+// traces, profiles and a manifest listing exactly the files present.
+func TestDumpBundle(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := New(reg, 0)
+	rec.Attach(reg)
+	reg.Counter("bluefi_test_ops_total", "").Add(7)
+	reg.Event("faults.injected", obs.L("kind", "worker_panic"))
+
+	dir := t.TempDir()
+	bundle, err := rec.Dump(dir, reg, "test-page")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var man Manifest
+	readJSON(t, filepath.Join(bundle, "manifest.json"), &man)
+	if man.Reason != "test-page" || man.Events != 1 {
+		t.Fatalf("manifest = %+v", man)
+	}
+	for _, want := range []string{"events.json", "metrics.json", "traces.json", "goroutine.txt", "heap.pprof"} {
+		found := false
+		for _, f := range man.Files {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("manifest missing %s (files: %v)", want, man.Files)
+		}
+	}
+
+	var evs []Event
+	readJSON(t, filepath.Join(bundle, "events.json"), &evs)
+	if len(evs) != 1 || evs[0].Kind != "faults.injected" {
+		t.Fatalf("events.json = %+v", evs)
+	}
+
+	var snap obs.Snapshot
+	readJSON(t, filepath.Join(bundle, "metrics.json"), &snap)
+	foundOps := false
+	for _, fam := range snap.Families {
+		if fam.Name == "bluefi_test_ops_total" && fam.Metrics[0].Value == 7 {
+			foundOps = true
+		}
+	}
+	if !foundOps {
+		t.Fatal("metrics.json missing recorded counter")
+	}
+
+	gor, err := os.ReadFile(filepath.Join(bundle, "goroutine.txt"))
+	if err != nil || !strings.Contains(string(gor), "goroutine") {
+		t.Fatalf("goroutine.txt invalid: %v", err)
+	}
+	heap, err := os.ReadFile(filepath.Join(bundle, "heap.pprof"))
+	if err != nil || len(heap) == 0 {
+		t.Fatalf("heap.pprof invalid: %v (%d bytes)", err, len(heap))
+	}
+	// pprof profiles are gzip-compressed protos: 0x1f 0x8b magic.
+	if heap[0] != 0x1f || heap[1] != 0x8b {
+		t.Fatal("heap.pprof is not gzip-compressed pprof data")
+	}
+}
+
+// TestDumpErrorPath: an unwritable destination is a real error.
+func TestDumpErrorPath(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := New(reg, 0)
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Dump(file, reg, "r"); err == nil {
+		t.Fatal("Dump into a file path must fail")
+	}
+}
+
+// TestHandler: GET lists events, POST /dump writes a bundle.
+func TestHandler(t *testing.T) {
+	reg := obs.NewRegistry()
+	rec := New(reg, 0)
+	rec.Attach(reg)
+	reg.Event("x")
+	dir := t.TempDir()
+	srv := httptest.NewServer(rec.Handler(reg, dir))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []Event
+	if err := json.NewDecoder(resp.Body).Decode(&evs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(evs) != 1 {
+		t.Fatalf("GET events = %d, want 1", len(evs))
+	}
+
+	resp, err = srv.Client().Post(srv.URL+"/dump", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, err := os.Stat(filepath.Join(out["bundle"], "manifest.json")); err != nil {
+		t.Fatalf("POST /dump bundle invalid: %v", err)
+	}
+
+	if resp, _ := srv.Client().Get(srv.URL + "/dump"); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /dump status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func readJSON(t *testing.T, path string, v any) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+}

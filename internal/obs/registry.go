@@ -56,24 +56,85 @@ const (
 // is a valid "telemetry disabled" registry: every constructor returns a
 // nil handle whose recording methods no-op.
 type Registry struct {
-	mu       sync.Mutex
-	families map[string]*family // guarded by mu
-	ids      atomic.Uint64      // span/trace ID source
+	mu         sync.Mutex
+	families   map[string]*family   // guarded by mu
+	histBounds map[string][]float64 // guarded by mu — construction-time bucket overrides
+	ids        atomic.Uint64        // span/trace ID source
 
 	spanMu   sync.Mutex
 	spanRing []SpanRecord // guarded by spanMu
 	spanNext int          // guarded by spanMu
 	spanCap  int          // guarded by spanMu
+
+	// sink receives structured events (Registry.Event); nil means events
+	// are dropped at one atomic load per record site.
+	sink atomic.Pointer[eventSinkBox]
+}
+
+// Config tunes a registry at construction. The zero value reproduces
+// NewRegistry: default trace capacity, every histogram keeping the
+// bucket layout its registration site passed.
+type Config struct {
+	// TraceCapacity bounds the recent-span ring (default 256, minimum 1).
+	TraceCapacity int
+	// HistogramBounds overrides the finite bucket bounds of histograms
+	// by (sanitized) metric name: a registration site's hard-coded
+	// layout is replaced before normalization, so operators can widen or
+	// refine a latency histogram without touching the instrumented
+	// package. Only the family's first registration consults the
+	// override (Prometheus allows one layout per family).
+	HistogramBounds map[string][]float64
+}
+
+// EventSink consumes structured events recorded through
+// Registry.Event. The flight recorder (internal/obs/flight) is the
+// canonical implementation; the indirection keeps obs free of any
+// dependency on it. Implementations must be safe for concurrent use and
+// must not retain attrs past the call (record sites may reuse storage).
+type EventSink interface {
+	RecordEvent(kind string, attrs []Label)
+}
+
+// eventSinkBox wraps the interface so it fits an atomic.Pointer.
+type eventSinkBox struct{ s EventSink }
+
+// SetEventSink installs (or, with nil, removes) the registry's event
+// sink. Safe to call while record sites are firing.
+func (r *Registry) SetEventSink(s EventSink) {
+	if r == nil {
+		return
+	}
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&eventSinkBox{s: s})
+}
+
+// Event records one structured event — a pool overload, a fault
+// injection, a governor transition — into the installed sink. Without a
+// sink (or on a nil registry) it is a cheap no-op, so instrumentation
+// sites never check a flag. Kinds follow the span taxonomy (dotted
+// lowercase, e.g. "pool.shed").
+func (r *Registry) Event(kind string, attrs ...Label) {
+	if r == nil {
+		return
+	}
+	b := r.sink.Load()
+	if b == nil {
+		return
+	}
+	b.s.RecordEvent(kind, attrs)
 }
 
 // family groups every metric sharing one name: Prometheus requires a
 // single TYPE per family, so the first registration fixes the kind (and,
 // for histograms, the bucket bounds).
 type family struct {
-	name    string
-	help    string
-	kind    string
-	bounds  []float64          // histogram families only
+	name   string
+	help   string
+	kind   string
+	bounds []float64 // histogram families only
 	// metrics maps label signature -> metric; the owning Registry's mu
 	// guards every access.
 	metrics map[string]*metric
@@ -110,7 +171,24 @@ const defaultTraceCapacity = 256
 
 // NewRegistry returns an empty registry with the default trace capacity.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family), spanCap: defaultTraceCapacity}
+	return NewRegistryWith(Config{})
+}
+
+// NewRegistryWith returns an empty registry tuned by cfg. The zero
+// Config is equivalent to NewRegistry.
+func NewRegistryWith(cfg Config) *Registry {
+	cap := cfg.TraceCapacity
+	if cap < 1 {
+		cap = defaultTraceCapacity
+	}
+	r := &Registry{families: make(map[string]*family), spanCap: cap}
+	if len(cfg.HistogramBounds) > 0 {
+		r.histBounds = make(map[string][]float64, len(cfg.HistogramBounds))
+		for name, bounds := range cfg.HistogramBounds {
+			r.histBounds[sanitizeName(name)] = normalizeBounds(bounds)
+		}
+	}
+	return r
 }
 
 // SetTraceCapacity resizes the recent-span ring (minimum 1), dropping
@@ -265,6 +343,11 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 		return nil
 	}
 	bounds = normalizeBounds(bounds)
+	r.mu.Lock()
+	if override, ok := r.histBounds[sanitizeName(name)]; ok {
+		bounds = override
+	}
+	r.mu.Unlock()
 	m := r.register(name, help, KindHistogram, labels, bounds)
 	// The family's bounds win when the name was registered first with a
 	// different layout — the metric's count slice is authoritative.
@@ -334,6 +417,36 @@ func (h *Histogram) Sum() float64 {
 		return 0
 	}
 	return h.m.sum.load()
+}
+
+// Bounds returns the histogram's finite bucket bounds (nil on nil).
+// Callers must not mutate the returned slice.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// CountAtMost returns the number of observations known to be ≤ v: the
+// cumulative count at the largest finite bound not exceeding v. With v
+// below every bound it is 0; with v at or above the last bound it still
+// excludes the +Inf bucket, so the result is conservative (a lower
+// bound on the true count). This is the primitive behind
+// histogram-threshold SLO indicators ("fraction of registrations under
+// 10 ms") without retaining samples.
+func (h *Histogram) CountAtMost(v float64) int64 {
+	if h == nil || math.IsNaN(v) {
+		return 0
+	}
+	var total int64
+	for i, b := range h.bounds {
+		if b > v {
+			break
+		}
+		total += h.m.counts[i].Load()
+	}
+	return total
 }
 
 // ExpBuckets returns n ascending bounds start, start·factor, … — the

@@ -87,9 +87,9 @@ func TestHistogramBuckets(t *testing.T) {
 	for _, v := range []float64{0.005, 0.05, 0.5, 0.05} {
 		h.Observe(v)
 	}
-	h.Observe(1e308)         // finite, lands in +Inf bucket
-	h.Observe(math.Inf(1))   // dropped
-	h.Observe(math.NaN())    // dropped
+	h.Observe(1e308)       // finite, lands in +Inf bucket
+	h.Observe(math.Inf(1)) // dropped
+	h.Observe(math.NaN())  // dropped
 	h.Observe(0)
 	snap := r.Snapshot()
 	m := snap.Families[0].Metrics[0]
@@ -193,5 +193,110 @@ func TestSanitization(t *testing.T) {
 	}
 	if got := snap.Families[0].Metrics[0].Labels[0].Key; got != "bad_key_" {
 		t.Fatalf("label key not sanitized: %q", got)
+	}
+}
+
+// TestConfigHistogramBounds: a construction-time override replaces the
+// bucket layout a registration site hard-codes, keyed by sanitized name.
+func TestConfigHistogramBounds(t *testing.T) {
+	r := NewRegistryWith(Config{
+		HistogramBounds: map[string][]float64{
+			"bluefi_x_seconds": {0.1, 0.2, 0.4},
+		},
+	})
+	h := r.Histogram("bluefi_x_seconds", "", ExpBuckets(1e-6, 4, 14))
+	want := []float64{0.1, 0.2, 0.4}
+	got := h.Bounds()
+	if len(got) != len(want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+	// A name without an override keeps the site's layout.
+	h2 := r.Histogram("bluefi_y_seconds", "", []float64{1, 2})
+	if n := len(h2.Bounds()); n != 2 {
+		t.Fatalf("unoverridden bounds len = %d, want 2", n)
+	}
+}
+
+// TestConfigTraceCapacity: the ring holds exactly TraceCapacity spans.
+func TestConfigTraceCapacity(t *testing.T) {
+	r := NewRegistryWith(Config{TraceCapacity: 3})
+	for i := 0; i < 10; i++ {
+		r.recordSpan(SpanRecord{SpanID: uint64(i + 1), Name: "x"})
+	}
+	if n := len(r.RecentSpans()); n != 3 {
+		t.Fatalf("RecentSpans len = %d, want 3", n)
+	}
+}
+
+// TestCountAtMost: cumulative count at the largest bound ≤ v, never
+// counting the +Inf bucket — a conservative lower bound.
+func TestCountAtMost(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 100} {
+		h.Observe(v)
+	}
+	cases := []struct {
+		v    float64
+		want int64
+	}{
+		{0.5, 0}, // below every bound
+		{1, 1},   // ≤1 bucket only
+		{2, 3},   // ≤1 and ≤2
+		{4, 4},   // all finite buckets
+		{1e9, 4}, // +Inf bucket excluded
+		{math.NaN(), 0},
+	}
+	for _, c := range cases {
+		if got := h.CountAtMost(c.v); got != c.want {
+			t.Errorf("CountAtMost(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	var nilH *Histogram
+	if nilH.CountAtMost(1) != 0 || nilH.Bounds() != nil {
+		t.Fatal("nil histogram introspection must be zero")
+	}
+}
+
+// captureSink records events for tests.
+type captureSink struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (s *captureSink) RecordEvent(kind string, attrs []Label) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	line := kind
+	for _, a := range attrs {
+		line += " " + a.Key + "=" + a.Value
+	}
+	s.events = append(s.events, line)
+}
+
+// TestEventSink: events flow to the installed sink; without one (or on
+// a nil registry) Event is a no-op; removal stops delivery.
+func TestEventSink(t *testing.T) {
+	var nilReg *Registry
+	nilReg.Event("x") // must not panic
+
+	r := NewRegistry()
+	r.Event("dropped") // no sink yet
+
+	sink := &captureSink{}
+	r.SetEventSink(sink)
+	r.Event("pool.shed", L("policy", "reject"))
+	r.SetEventSink(nil)
+	r.Event("after.removal")
+
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	if len(sink.events) != 1 || sink.events[0] != "pool.shed policy=reject" {
+		t.Fatalf("events = %q", sink.events)
 	}
 }

@@ -1,0 +1,291 @@
+// Package sketch provides cardinality-bounded stream summaries for
+// fleet-scale telemetry: a space-saving top-k heavy-hitter sketch
+// (which cache keys are hot, which shards are hot) and a DDSketch-style
+// relative-error quantile sketch (per-beacon slot latency), both O(k)
+// memory regardless of how many distinct keys or samples flow through.
+//
+// Why not just metrics? A label per beacon key at a million beacons is
+// a million series — the exact cardinality blow-up the obs registry is
+// designed to avoid. These sketches answer the two questions raw
+// rollups can't ("who is hot?", "what is p99 without buckets chosen in
+// advance?") in fixed memory with proven error bounds:
+//
+//   - TopK (space-saving, Metwally et al.): estimate ≥ true count,
+//     estimate − error ≤ true count, and any key whose true count
+//     exceeds N/k (N observations, k slots) is guaranteed present.
+//   - Quantile (log-γ buckets, DDSketch): Quantile(q) is within
+//     relative error α of the true quantile for positive samples,
+//     with the bucket count capped (oldest/lowest buckets collapse).
+//
+// Both are mutex-guarded: record sites are O(1) amortized (a map hit
+// for TopK, a bucket increment for Quantile) and far off the synthesis
+// hot path — they observe fleet admission and cache traffic, not DSP.
+package sketch
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// TopKEntry is one heavy-hitter estimate. Count is an overestimate of
+// the key's true count by at most Err.
+type TopKEntry struct {
+	Key   string `json:"key"`
+	Count int64  `json:"count"`
+	Err   int64  `json:"err"`
+}
+
+// TopK is a space-saving heavy-hitter sketch over string keys with k
+// monitored slots. Safe for concurrent use.
+type TopK struct {
+	mu    sync.Mutex
+	k     int
+	slots map[string]*topKSlot // guarded by mu
+	n     int64                // guarded by mu — total observations
+}
+
+type topKSlot struct {
+	count int64
+	err   int64
+}
+
+// NewTopK returns a sketch monitoring at most k keys (minimum 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, slots: make(map[string]*topKSlot, k)}
+}
+
+// Offer records one occurrence of key (space-saving update: monitored
+// keys increment; an unmonitored key evicts the current minimum,
+// inheriting its count as error).
+func (t *TopK) Offer(key string) { t.OfferN(key, 1) }
+
+// OfferN records n occurrences of key.
+func (t *TopK) OfferN(key string, n int64) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n += n
+	if s, ok := t.slots[key]; ok {
+		s.count += n
+		return
+	}
+	if len(t.slots) < t.k {
+		t.slots[key] = &topKSlot{count: n}
+		return
+	}
+	// Evict the minimum-count slot; k is small (≤ a few hundred), so a
+	// linear scan beats maintaining a heap under a mutex.
+	var minKey string
+	var min *topKSlot
+	for k2, s := range t.slots {
+		if min == nil || s.count < min.count || (s.count == min.count && k2 < minKey) {
+			minKey, min = k2, s
+		}
+	}
+	delete(t.slots, minKey)
+	t.slots[key] = &topKSlot{count: min.count + n, err: min.count}
+}
+
+// N returns the total number of observations offered.
+func (t *TopK) N() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Top returns up to n entries ordered by estimated count descending
+// (ties broken by key for determinism).
+func (t *TopK) Top(n int) []TopKEntry {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]TopKEntry, 0, len(t.slots))
+	for k, s := range t.slots {
+		out = append(out, TopKEntry{Key: k, Count: s.count, Err: s.err})
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Quantile is a DDSketch-style quantile sketch with relative-error
+// guarantee α over positive samples. Buckets are indexed by
+// ceil(log_γ v) with γ = (1+α)/(1−α); when the bucket count exceeds
+// maxBuckets the lowest buckets collapse into one (biasing only the
+// low tail — the p99-style high quantiles the fleet cares about keep
+// their bound). Zero and negative samples land in a dedicated bucket.
+// Safe for concurrent use.
+type Quantile struct {
+	mu         sync.Mutex
+	gamma      float64
+	logGamma   float64
+	maxBuckets int
+	buckets    map[int]int64 // guarded by mu — bucket index -> count
+	zeroCount  int64         // guarded by mu — samples ≤ 0
+	n          int64         // guarded by mu
+	floor      int           // guarded by mu — collapse floor (valid when hasFloor)
+	hasFloor   bool          // guarded by mu
+}
+
+// NewQuantile returns a sketch with relative error alpha (clamped to
+// [1e-4, 0.5)) holding at most maxBuckets buckets (minimum 16).
+func NewQuantile(alpha float64, maxBuckets int) *Quantile {
+	if alpha < 1e-4 {
+		alpha = 1e-4
+	}
+	if alpha >= 0.5 {
+		alpha = 0.4999
+	}
+	if maxBuckets < 16 {
+		maxBuckets = 16
+	}
+	gamma := (1 + alpha) / (1 - alpha)
+	return &Quantile{
+		gamma:      gamma,
+		logGamma:   math.Log(gamma),
+		maxBuckets: maxBuckets,
+		buckets:    make(map[int]int64, maxBuckets),
+	}
+}
+
+// Observe records one sample. Non-finite samples are dropped;
+// non-positive samples count toward the zero bucket.
+func (q *Quantile) Observe(v float64) {
+	if q == nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.n++
+	if v <= 0 {
+		q.zeroCount++
+		return
+	}
+	key := int(math.Ceil(math.Log(v) / q.logGamma))
+	if q.hasFloor && key < q.floor {
+		key = q.floor // below the collapse floor: fold into it
+	}
+	q.buckets[key]++
+	if len(q.buckets) > q.maxBuckets {
+		q.collapseLocked()
+	}
+}
+
+// collapseLocked merges the two lowest buckets, raising the floor.
+func (q *Quantile) collapseLocked() {
+	keys := make([]int, 0, len(q.buckets))
+	for k := range q.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	lo, next := keys[0], keys[1]
+	q.buckets[next] += q.buckets[lo]
+	delete(q.buckets, lo)
+	q.floor, q.hasFloor = next, true
+}
+
+// N returns the number of samples observed (including non-positive).
+func (q *Quantile) N() int64 {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.n
+}
+
+// Buckets returns the current bucket count (for memory-bound asserts).
+func (q *Quantile) Buckets() int {
+	if q == nil {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}
+
+// Value returns the estimated quantile for p in [0,1] (0 when empty).
+// For uncollapsed positive samples the estimate is within relative
+// error α of a true p-quantile sample.
+func (q *Quantile) Value(p float64) float64 {
+	if q == nil {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(p * float64(q.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank <= q.zeroCount {
+		return 0
+	}
+	rank -= q.zeroCount
+	keys := make([]int, 0, len(q.buckets))
+	for k := range q.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var cum int64
+	for _, k := range keys {
+		cum += q.buckets[k]
+		if cum >= rank {
+			// Midpoint of the γ-bucket (γ^(k-1), γ^k]: the estimate
+			// 2·γ^k/(γ+1) is within α of any sample in the bucket.
+			return 2 * math.Pow(q.gamma, float64(k)) / (q.gamma + 1)
+		}
+	}
+	return 0
+}
+
+// QuantileSummary is a deterministic JSON-friendly snapshot.
+type QuantileSummary struct {
+	N       int64   `json:"n"`
+	Buckets int     `json:"buckets"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	Max     float64 `json:"max"` // estimate at p=1
+}
+
+// Summary snapshots the common operational quantiles.
+func (q *Quantile) Summary() QuantileSummary {
+	if q == nil {
+		return QuantileSummary{}
+	}
+	return QuantileSummary{
+		N:       q.N(),
+		Buckets: q.Buckets(),
+		P50:     q.Value(0.50),
+		P90:     q.Value(0.90),
+		P99:     q.Value(0.99),
+		Max:     q.Value(1),
+	}
+}

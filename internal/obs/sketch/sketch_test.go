@@ -1,0 +1,164 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestTopKGuarantees drives a skewed stream of 100k-scale distinct keys
+// through a k=64 sketch and checks the space-saving guarantees:
+// estimate ≥ true count, estimate − err ≤ true count, and every key
+// with true count > N/k is present.
+func TestTopKGuarantees(t *testing.T) {
+	const k = 64
+	sk := NewTopK(k)
+	rng := rand.New(rand.NewSource(7))
+	truth := make(map[string]int64)
+
+	// 20 genuinely hot keys on a long uniform tail of 100k cold keys.
+	var n int64
+	for i := 0; i < 400_000; i++ {
+		var key string
+		if rng.Intn(100) < 60 {
+			key = fmt.Sprintf("hot-%02d", rng.Intn(20))
+		} else {
+			key = fmt.Sprintf("cold-%05d", rng.Intn(100_000))
+		}
+		sk.Offer(key)
+		truth[key]++
+		n++
+	}
+	if sk.N() != n {
+		t.Fatalf("N = %d, want %d", sk.N(), n)
+	}
+
+	top := sk.Top(k)
+	if len(top) > k {
+		t.Fatalf("Top returned %d entries, k = %d", len(top), k)
+	}
+	present := make(map[string]TopKEntry, len(top))
+	for _, e := range top {
+		present[e.Key] = e
+		if e.Count < truth[e.Key] {
+			t.Errorf("%s: estimate %d < true %d (must overestimate)", e.Key, e.Count, truth[e.Key])
+		}
+		if e.Count-e.Err > truth[e.Key] {
+			t.Errorf("%s: estimate−err %d > true %d", e.Key, e.Count-e.Err, truth[e.Key])
+		}
+	}
+	for key, c := range truth {
+		if c > n/int64(k) {
+			if _, ok := present[key]; !ok {
+				t.Errorf("heavy key %s (count %d > N/k = %d) missing from sketch", key, c, n/int64(k))
+			}
+		}
+	}
+}
+
+// TestTopKDeterministicOrder: ties order by key, and Top(n) truncates.
+func TestTopKDeterministicOrder(t *testing.T) {
+	sk := NewTopK(8)
+	for _, k := range []string{"b", "a", "c"} {
+		sk.OfferN(k, 5)
+	}
+	top := sk.Top(2)
+	if len(top) != 2 || top[0].Key != "a" || top[1].Key != "b" {
+		t.Fatalf("Top(2) = %+v, want a,b", top)
+	}
+	var nilSk *TopK
+	nilSk.Offer("x")
+	if nilSk.Top(3) != nil || nilSk.N() != 0 {
+		t.Fatal("nil sketch must be inert")
+	}
+}
+
+// TestQuantileRelativeError: at 100k log-uniform samples the estimate
+// stays within the α relative-error bound at every tested quantile,
+// and the bucket count respects the configured cap.
+func TestQuantileRelativeError(t *testing.T) {
+	const alpha = 0.01
+	const maxBuckets = 2048 // generous: no collapse for this range
+	q := NewQuantile(alpha, maxBuckets)
+	rng := rand.New(rand.NewSource(11))
+
+	samples := make([]float64, 100_000)
+	for i := range samples {
+		// Latencies spanning 1 µs .. 1 s, log-uniform.
+		samples[i] = math.Exp(rng.Float64()*math.Log(1e6)) * 1e-6
+		q.Observe(samples[i])
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+
+	for _, p := range []float64{0.10, 0.50, 0.90, 0.99, 0.999} {
+		got := q.Value(p)
+		idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+		want := sorted[idx]
+		if rel := math.Abs(got-want) / want; rel > alpha {
+			t.Errorf("p%.3f: got %g want %g rel err %.4f > α %.2f", p, got, want, rel, alpha)
+		}
+	}
+	if q.Buckets() > maxBuckets {
+		t.Fatalf("buckets %d exceed cap %d", q.Buckets(), maxBuckets)
+	}
+	if q.N() != int64(len(samples)) {
+		t.Fatalf("N = %d, want %d", q.N(), len(samples))
+	}
+}
+
+// TestQuantileCollapse: a tiny bucket cap forces low-bucket collapse;
+// memory stays bounded and high quantiles keep their error bound.
+func TestQuantileCollapse(t *testing.T) {
+	const alpha = 0.02
+	const maxBuckets = 32
+	q := NewQuantile(alpha, maxBuckets)
+	rng := rand.New(rand.NewSource(13))
+
+	samples := make([]float64, 50_000)
+	for i := range samples {
+		samples[i] = math.Exp(rng.Float64()*math.Log(1e9)) * 1e-6 // 1 µs .. 1000 s
+		q.Observe(samples[i])
+	}
+	if q.Buckets() > maxBuckets {
+		t.Fatalf("buckets %d exceed cap %d after collapse", q.Buckets(), maxBuckets)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	// The collapse eats the low tail only: p99 must still meet α.
+	got := q.Value(0.99)
+	want := sorted[int(math.Ceil(0.99*float64(len(sorted))))-1]
+	if rel := math.Abs(got-want) / want; rel > alpha {
+		t.Errorf("p99 after collapse: got %g want %g rel err %.4f > α %.2f", got, want, rel, alpha)
+	}
+}
+
+// TestQuantileEdgeCases: zero/negative/non-finite samples and the empty
+// sketch are all safe.
+func TestQuantileEdgeCases(t *testing.T) {
+	q := NewQuantile(0.01, 64)
+	if q.Value(0.5) != 0 {
+		t.Fatal("empty sketch must report 0")
+	}
+	q.Observe(0)
+	q.Observe(-3)
+	q.Observe(math.NaN())
+	q.Observe(math.Inf(1))
+	q.Observe(10)
+	if q.N() != 3 {
+		t.Fatalf("N = %d, want 3 (NaN/Inf dropped)", q.N())
+	}
+	if v := q.Value(0.5); v != 0 {
+		t.Fatalf("p50 over {0,-3,10} = %g, want 0 (zero bucket)", v)
+	}
+	if v := q.Value(1); math.Abs(v-10)/10 > 0.01 {
+		t.Fatalf("max = %g, want ≈10", v)
+	}
+	var nilQ *Quantile
+	nilQ.Observe(1)
+	if nilQ.Value(0.5) != 0 || nilQ.Summary().N != 0 {
+		t.Fatal("nil sketch must be inert")
+	}
+}

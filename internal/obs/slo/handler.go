@@ -1,0 +1,21 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the engine snapshot as JSON — mounted at /debug/slo by
+// the daemons.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "\t")
+		_ = enc.Encode(e.Snapshot())
+	})
+}

@@ -211,6 +211,13 @@ func (q *jobQueue) pop() *poolJob {
 	return j
 }
 
+// depth reports the number of jobs waiting in the queue.
+func (q *jobQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
 // close marks the queue closed. Queued jobs stay queued — workers drain
 // them — until failPending discards them.
 func (q *jobQueue) close() {
@@ -241,6 +248,7 @@ func (q *jobQueue) failPending(err error) int {
 // sum(bluefi_pool_job_seconds) / (bluefi_pool_workers × uptime); the
 // jobs-in-flight gauge gives the instantaneous view.
 type poolMetrics struct {
+	reg      *obs.Registry // event sink for overload/fault events
 	workers  *obs.Gauge
 	queue    *obs.Gauge
 	inflight *obs.Gauge
@@ -259,6 +267,7 @@ func newPoolMetrics(r *obs.Registry) *poolMetrics {
 		return nil
 	}
 	return &poolMetrics{
+		reg:      r,
 		workers:  r.Gauge("bluefi_pool_workers", "synthesizer workers in the pool"),
 		queue:    r.Gauge("bluefi_pool_queue_depth", "jobs enqueued but not yet picked up by a worker"),
 		inflight: r.Gauge("bluefi_pool_jobs_inflight", "jobs currently executing"),
@@ -316,6 +325,7 @@ func (m *poolMetrics) panicked() {
 		return
 	}
 	m.panics.Inc()
+	m.reg.Event("pool.worker_panic")
 }
 
 func (m *poolMetrics) retried() {
@@ -323,6 +333,7 @@ func (m *poolMetrics) retried() {
 		return
 	}
 	m.retries.Inc()
+	m.reg.Event("pool.retry")
 }
 
 func (m *poolMetrics) timedOut() {
@@ -330,6 +341,7 @@ func (m *poolMetrics) timedOut() {
 		return
 	}
 	m.timeouts.Inc()
+	m.reg.Event("pool.timeout")
 }
 
 func (m *poolMetrics) shed() {
@@ -338,6 +350,7 @@ func (m *poolMetrics) shed() {
 	}
 	m.sheds.Inc()
 	m.queue.Dec()
+	m.reg.Event("pool.shed", obs.L("policy", "drop_oldest"))
 }
 
 func (m *poolMetrics) rejected() {
@@ -345,6 +358,7 @@ func (m *poolMetrics) rejected() {
 		return
 	}
 	m.rejects.Inc()
+	m.reg.Event("pool.overload", obs.L("policy", "reject"))
 }
 
 // NewPool builds a pool of n independent Synthesizers with the same
@@ -485,6 +499,10 @@ func poolDo[T any](p *Pool, fn func(*Synthesizer) (T, error)) (T, error) {
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return len(p.syns) }
+
+// QueueDepth returns the number of jobs enqueued but not yet picked up
+// by a worker — the fleet's per-shard stats surface it as backlog.
+func (p *Pool) QueueDepth() int { return p.q.depth() }
 
 // InjectedFaults returns how many faults the pool's injector has fired
 // (0 without an armed Options.Faults plan) — chaos reports use it to
