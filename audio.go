@@ -117,6 +117,12 @@ type AudioStream struct {
 	slotBudget time.Duration
 	met        *audioMetrics
 	obsCtx     context.Context
+
+	// onSlack, when non-nil, receives every segment's deadline slack —
+	// the SessionManager's per-session slack export. Set once before the
+	// first Send; called concurrently from pool workers, so the hook
+	// must be safe for concurrent use.
+	onSlack func(slack time.Duration)
 }
 
 // audioMetrics holds the audio path's telemetry handles; nil disables
@@ -368,7 +374,10 @@ func (a *AudioStream) synthesizeAll(scheduled []*a2dp.ScheduledPacket) ([]*Audio
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				res, err := poolDo(a.pool, func(s *Synthesizer) (seg, error) {
+				// The segment's slot clock is its EDF deadline: under
+				// Options.EDF the pool services whichever stream's
+				// segment is closest to its slot.
+				res, err := poolDoDeadline(a.pool, uint64(sp.Clock), func(s *Synthesizer) (seg, error) {
 					tx, slack, serr := a.synthesizeScheduled(s, sp)
 					if serr != nil {
 						return seg{}, serr
@@ -467,6 +476,9 @@ func (a *AudioStream) synthesizeScheduled(syn *Synthesizer, sp *a2dp.ScheduledPa
 	// penalty inflates the charged time machine-independently.
 	slack := a.slotBudget - span.End() - a.inj.LatencyPenalty(a.slotBudget)
 	a.met.observeSegment(slack)
+	if a.onSlack != nil {
+		a.onSlack(slack)
+	}
 	pkt, err := syn.wrap(res, -1)
 	if err != nil {
 		return nil, slack, err

@@ -11,13 +11,18 @@ package bluefi
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"math"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"bluefi/internal/obs/flight"
 )
 
 // chaosTone builds one Send's worth of PCM for the stream.
@@ -56,7 +61,7 @@ func TestChaosQueuePolicies(t *testing.T) {
 	mkJob := func() *poolJob { return &poolJob{done: make(chan struct{})} }
 
 	t.Run("Reject", func(t *testing.T) {
-		q := newJobQueue(2, Reject, nil)
+		q := newJobQueue(2, Reject, false, nil)
 		if err := q.push(mkJob()); err != nil {
 			t.Fatal(err)
 		}
@@ -76,7 +81,7 @@ func TestChaosQueuePolicies(t *testing.T) {
 	})
 
 	t.Run("DropOldest", func(t *testing.T) {
-		q := newJobQueue(1, DropOldest, nil)
+		q := newJobQueue(1, DropOldest, false, nil)
 		oldest := mkJob()
 		if err := q.push(oldest); err != nil {
 			t.Fatal(err)
@@ -99,7 +104,7 @@ func TestChaosQueuePolicies(t *testing.T) {
 	})
 
 	t.Run("Block", func(t *testing.T) {
-		q := newJobQueue(1, Block, nil)
+		q := newJobQueue(1, Block, false, nil)
 		if err := q.push(mkJob()); err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +122,7 @@ func TestChaosQueuePolicies(t *testing.T) {
 	})
 
 	t.Run("Closed", func(t *testing.T) {
-		q := newJobQueue(2, Block, nil)
+		q := newJobQueue(2, Block, false, nil)
 		queued := mkJob()
 		if err := q.push(queued); err != nil {
 			t.Fatal(err)
@@ -211,7 +216,7 @@ func TestChaosShutdownDeadline(t *testing.T) {
 	results := make(chan error, 4)
 	for i := 0; i < 4; i++ {
 		go func() {
-			results <- pool.tryOne(func(*Synthesizer) error {
+			results <- pool.tryOne(noDeadline, func(*Synthesizer) error {
 				if once.CompareAndSwap(false, true) {
 					close(started)
 				}
@@ -466,4 +471,198 @@ func TestChaosDisabledFaultsAreFree(t *testing.T) {
 	if syn.inj != nil {
 		t.Fatal("nil plan built a live injector")
 	}
+}
+
+// TestChaosMultiSessionStorm is the multi-session acceptance storm
+// (DESIGN.md §14): a fleet of sessions over one EDF pool, rapid
+// add/remove while a seeded fault storm is running, the global shedding
+// budget holding the fleet ship floor, no session starved below its
+// share, the flight recorder capturing the admission/eviction/budget
+// events, and no goroutines leaked. Runs under `make chaos` (-race).
+func TestChaosMultiSessionStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	baseline := runtime.NumGoroutine()
+	reg := NewTelemetry()
+	rec := flight.New(reg, 0)
+	rec.Attach(reg)
+	pool, err := NewPool(Options{
+		Mode:      RealTime,
+		Telemetry: reg,
+		EDF:       true,
+		Faults: &FaultPlan{
+			Seed:             2,
+			WorkerPanicRate:  0.02,
+			LatencyRate:      0.40,
+			LatencyFactor:    2,
+			InterferenceRate: 0.40,
+			InterferenceDuty: 0.30,
+			MaxInjections:    120,
+		},
+		Retry: RetryPolicy{MaxAttempts: 3, Backoff: time.Millisecond},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := pool.NewSessionManager(SessionManagerConfig{
+		ServiceSlots:   0.15,
+		AdmissionQueue: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One SBC frame per DM1 packet — 3 segments every 1.6 slots: the
+	// cheapest synthesis unit, so the storm's wall-clock cost stays
+	// inside the chaos tier's budget even under -race.
+	stormAudio := func(lap uint32) AudioConfig {
+		return AudioConfig{
+			Device:     Device{LAP: lap, UAP: 0x9A},
+			PacketType: DM1,
+			SBC:        SBCConfig{SampleRateHz: 16000, Blocks: 4, Subbands: 4, Bitpool: 31},
+			SlotBudget: time.Minute,
+		}
+	}
+
+	// Ramp to the knee and back: admissions past capacity must be
+	// refused (the recorder sees session.reject), then rapid eviction
+	// brings the fleet to its storm size.
+	var ramp []string
+	sawReject := false
+	for i := 0; i < 64 && !sawReject; i++ {
+		id := fmt.Sprintf("ramp%d", i)
+		_, err := sm.Admit(SessionConfig{ID: id, Audio: stormAudio(uint32(0x200 + i))})
+		switch {
+		case err == nil:
+			ramp = append(ramp, id)
+		case errors.Is(err, ErrAdmissionRejected):
+			sawReject = true
+		default:
+			t.Fatalf("ramp admit %s: %v", id, err)
+		}
+	}
+	if !sawReject {
+		t.Fatal("the ramp never hit the admission knee")
+	}
+	const fleet = 4
+	if len(ramp) < fleet+2 {
+		t.Fatalf("knee at %d sessions, need at least %d for the storm", len(ramp), fleet+2)
+	}
+	for _, id := range ramp {
+		if !sm.Evict(id) {
+			t.Fatalf("ramp eviction of %s failed", id)
+		}
+	}
+
+	type member struct {
+		id string
+		s  *Session
+	}
+	var live []member
+	for i := 0; i < fleet; i++ {
+		id := fmt.Sprintf("storm%d", i)
+		s, err := sm.Admit(SessionConfig{ID: id, Audio: stormAudio(uint32(0x300 + i))})
+		if err != nil {
+			t.Fatalf("storm admit %s: %v", id, err)
+		}
+		live = append(live, member{id: id, s: s})
+	}
+
+	// All session handles ever live, for fleet-wide accounting.
+	all := append([]member(nil), live...)
+
+	// The storm: round-robin sends with churn — two mid-storm
+	// evict+enqueue cycles — until the fault budget is spent.
+	phase, round, churns := 0, 0, 0
+	for round < 80 && (!pool.inj.Exhausted() || churns < 2) {
+		for _, m := range live {
+			if _, err := m.s.Send(chaosTone(m.s.Stream(), phase)); err != nil {
+				t.Fatalf("round %d session %s: non-transient error escaped: %v", round, m.id, err)
+			}
+		}
+		phase += live[0].s.Stream().SamplesPerSend()
+		round++
+		if round%5 == 0 && churns < 2 {
+			churns++
+			victim := live[0]
+			if !sm.Evict(victim.id) {
+				t.Fatalf("churn eviction of %s failed", victim.id)
+			}
+			id := fmt.Sprintf("churn%d", churns)
+			p, err := sm.Enqueue(SessionConfig{ID: id, Audio: stormAudio(uint32(0x400 + churns))})
+			if err != nil {
+				t.Fatalf("churn enqueue %s: %v", id, err)
+			}
+			s, ready, perr := p.Session()
+			if !ready || perr != nil {
+				t.Fatalf("churn session %s not admitted after an eviction: ready=%v err=%v", id, ready, perr)
+			}
+			live = append(live[1:], member{id: id, s: s})
+			all = append(all, member{id: id, s: s})
+		}
+	}
+	if !pool.inj.Exhausted() {
+		t.Fatalf("fault budget not spent after %d rounds", round)
+	}
+	if churns != 2 {
+		t.Fatalf("%d churn cycles ran, want 2", churns)
+	}
+
+	// Fleet accounting across every session that ever lived: the global
+	// shedding budget must have held the floor (evictions trim the
+	// budget's own view, so allow a small margin on the handle sum).
+	var shipped, dropped uint64
+	for _, m := range all {
+		rep := m.s.Report()
+		shipped += rep.Shipped
+		dropped += rep.Dropped
+		if rep.Shipped == 0 {
+			t.Errorf("session %s starved: zero shipped packets through the storm", m.id)
+		}
+	}
+	if total := shipped + dropped; float64(shipped) < 0.75*float64(total) {
+		t.Fatalf("fleet shipped %d/%d (%.3f), the global floor did not hold", shipped, total, float64(shipped)/float64(total))
+	}
+	brep := sm.Report().Budget
+	if bt := brep.TotalShipped + brep.TotalDropped; bt > 0 {
+		if r := float64(brep.TotalShipped) / float64(bt); r < 0.8 {
+			t.Fatalf("budget report shipped ratio %.3f below the 0.8 floor", r)
+		}
+	}
+	// No live session starved below its share: sessions that kept
+	// requesting drops must have been granted some.
+	for _, s := range brep.Sessions {
+		if s.Requested >= 10 && s.Dropped == 0 {
+			t.Errorf("session %s requested %d drops, granted none — starved out of the budget", s.ID, s.Requested)
+		}
+	}
+
+	// The flight bundle must carry the session lifecycle events.
+	dir := t.TempDir()
+	bundle, err := rec.Dump(dir, reg, "a2dp-chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []flight.Event
+	if err := json.Unmarshal(readFileT(t, filepath.Join(bundle, "events.json")), &evs); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]int{}
+	for _, ev := range evs {
+		kinds[ev.Kind]++
+	}
+	for _, want := range []string{"session.admit", "session.reject", "session.evict"} {
+		if kinds[want] == 0 {
+			t.Errorf("bundle events missing %s (kinds %v)", want, kinds)
+		}
+	}
+	if kinds["session.budget_exhausted"] == 0 {
+		t.Errorf("storm never exhausted the global budget (kinds %v)", kinds)
+	}
+	if kinds["session.evict"] < 2+len(ramp) {
+		t.Errorf("%d evict events for %d evictions", kinds["session.evict"], 2+len(ramp))
+	}
+
+	pool.Close()
+	expectGoroutines(t, baseline)
 }

@@ -14,6 +14,7 @@
 //	bluefi-eval -e2e                   # TX→RX conformance matrix → scanner PDR snapshot
 //	bluefi-eval -fleet :8400           # beacon-CDN control plane + telemetry
 //	bluefi-eval -fleet-soak            # capacity soak + cache-hit-rate gate (CI)
+//	bluefi-eval -a2dp-soak             # multi-session A2DP capacity knee + EDF gate (CI)
 package main
 
 import (
@@ -45,7 +46,17 @@ func main() {
 	fleetBeacons := flag.Int("fleet-beacons", 100000, "registrations for -fleet-soak")
 	fleetUnique := flag.Int("fleet-unique", 64, "distinct advertisement payloads for -fleet-soak")
 	fleetSeed := flag.Int64("fleet-seed", 8, "workload seed for -fleet-soak")
+	a2dpSoak := flag.Bool("a2dp-soak", false, "run the multi-session A2DP capacity soak: ramp sessions to the admission knee, gate on delivery below it and EDF-vs-FIFO slack, and append the capacity curve to -bench-out")
+	a2dpMinSessions := flag.Int("a2dp-min-sessions", 3, "minimum sessions the -a2dp-soak knee (and the storm's at-floor count) must sustain")
 	flag.Parse()
+
+	if *a2dpSoak {
+		if err := runA2DPSoak(*benchOut, *flightDir, *a2dpMinSessions); err != nil {
+			fmt.Fprintf(os.Stderr, "bluefi-eval: a2dp-soak: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *fleetSoak {
 		cfg := eval.DefaultFleetSoak()

@@ -1,0 +1,223 @@
+package a2dp
+
+import (
+	"math"
+	"testing"
+
+	"bluefi/internal/obs"
+)
+
+// shedRound simulates one media packet for a session that wants to
+// drop: request the budget, and record the granted drop or the forced
+// ship. Returns whether the drop was granted.
+func shedRound(b *ShedBudget, id string) bool {
+	if b.Grant(id) {
+		b.RecordDropped(id, 1)
+		return true
+	}
+	b.RecordShipped(id, 1)
+	return false
+}
+
+func TestShedBudgetGlobalFloor(t *testing.T) {
+	b := NewShedBudget(ShedBudgetConfig{GlobalShipFloor: 0.8})
+	if err := b.Register("s", 1); err != nil {
+		t.Fatal(err)
+	}
+	drops := 0
+	const packets = 1000
+	for i := 0; i < packets; i++ {
+		if shedRound(b, "s") {
+			drops++
+		}
+	}
+	rep := b.Report()
+	shipped := float64(rep.TotalShipped) / float64(rep.TotalShipped+rep.TotalDropped)
+	if shipped < 0.8 {
+		t.Fatalf("global shipped ratio %.3f below the 0.8 floor", shipped)
+	}
+	// The budget must actually be spent, not just conserved: a greedy
+	// shedder gets (1-floor) of the traffic, within rounding.
+	if drops < packets/5-5 {
+		t.Fatalf("only %d drops granted of ~%d budget", drops, packets/5)
+	}
+}
+
+// TestShedBudgetMaxMinFairness pins the water-fill: a greedy session
+// must not starve a modest one out of the shared budget, and a
+// double-weight session gets a double share under contention.
+func TestShedBudgetMaxMinFairness(t *testing.T) {
+	b := NewShedBudget(ShedBudgetConfig{GlobalShipFloor: 0.8})
+	for _, id := range []string{"greedy", "modest"} {
+		if err := b.Register(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Phase 1: greedy sheds alone against a healthy modest session.
+	for i := 0; i < 400; i++ {
+		shedRound(b, "greedy")
+		b.RecordShipped("modest", 1)
+	}
+	// Phase 2: modest starts shedding too. Its demand is far below its
+	// fair share, so every request must be granted even though greedy
+	// has been draining the budget all along.
+	granted := 0
+	const modestWants = 20
+	for i := 0; i < modestWants; i++ {
+		if shedRound(b, "modest") {
+			granted++
+		}
+		// Greedy keeps contending the whole time.
+		shedRound(b, "greedy")
+		for j := 0; j < 8; j++ {
+			b.RecordShipped("greedy", 1)
+			b.RecordShipped("modest", 1)
+		}
+	}
+	if granted < modestWants*9/10 {
+		t.Fatalf("modest session granted %d/%d drops — starved below its fair share", granted, modestWants)
+	}
+	rep := b.Report()
+	var greedy, modest SessionShare
+	for _, s := range rep.Sessions {
+		switch s.ID {
+		case "greedy":
+			greedy = s
+		case "modest":
+			modest = s
+		}
+	}
+	if greedy.Dropped <= modest.Dropped {
+		t.Fatalf("greedy (%d) should out-drop modest (%d) — it demands more", greedy.Dropped, modest.Dropped)
+	}
+	shipped := float64(rep.TotalShipped) / float64(rep.TotalShipped+rep.TotalDropped)
+	if shipped < 0.8 {
+		t.Fatalf("global shipped ratio %.3f below floor under contention", shipped)
+	}
+}
+
+func TestShedBudgetWeightedShares(t *testing.T) {
+	b := NewShedBudget(ShedBudgetConfig{GlobalShipFloor: 0.8})
+	if err := b.Register("heavy", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register("light", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Both shed greedily on equal traffic: under contention the
+	// water-fill should split grants ~2:1.
+	for i := 0; i < 1200; i++ {
+		shedRound(b, "heavy")
+		shedRound(b, "light")
+	}
+	rep := b.Report()
+	var heavy, light SessionShare
+	for _, s := range rep.Sessions {
+		if s.ID == "heavy" {
+			heavy = s
+		} else {
+			light = s
+		}
+	}
+	ratio := float64(heavy.Dropped) / float64(light.Dropped)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("heavy/light drop ratio %.2f, want ≈2 (weighted max-min)", ratio)
+	}
+	shipped := float64(rep.TotalShipped) / float64(rep.TotalShipped+rep.TotalDropped)
+	if shipped < 0.8 {
+		t.Fatalf("global shipped ratio %.3f below floor", shipped)
+	}
+}
+
+// TestShedBudgetFaultLossesConsumeShare: unplanned losses recorded via
+// RecordDropped must eat the loser's fair share and the global budget,
+// so policy sheds stop before the floor is doubly broken.
+func TestShedBudgetFaultLossesConsumeShare(t *testing.T) {
+	b := NewShedBudget(ShedBudgetConfig{GlobalShipFloor: 0.8})
+	if err := b.Register("s", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Fault storm: 30 of 100 packets lost without any grant.
+	for i := 0; i < 70; i++ {
+		b.RecordShipped("s", 1)
+	}
+	b.RecordDropped("s", 30)
+	if b.Grant("s") {
+		t.Fatal("grant after fault losses already broke the floor")
+	}
+	// Recovery: clean traffic re-earns budget.
+	for i := 0; i < 100; i++ {
+		b.RecordShipped("s", 1)
+	}
+	if !b.Grant("s") {
+		t.Fatal("budget must recover once clean traffic dilutes the losses")
+	}
+}
+
+func TestShedBudgetDeterministicReplay(t *testing.T) {
+	run := func() []bool {
+		b := NewShedBudget(ShedBudgetConfig{GlobalShipFloor: 0.75})
+		for _, id := range []string{"c", "a", "b"} {
+			if err := b.Register(id, float64(len(id))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var decisions []bool
+		ids := []string{"a", "b", "c"}
+		for i := 0; i < 300; i++ {
+			id := ids[i%3]
+			g := b.Grant(id)
+			decisions = append(decisions, g)
+			if g {
+				b.RecordDropped(id, 1)
+			} else {
+				b.RecordShipped(id, 1)
+			}
+		}
+		return decisions
+	}
+	first := run()
+	for trial := 0; trial < 3; trial++ {
+		got := run()
+		for i := range first {
+			if got[i] != first[i] {
+				t.Fatalf("trial %d decision %d diverged — replays must be byte-stable", trial, i)
+			}
+		}
+	}
+}
+
+func TestShedBudgetLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewShedBudget(ShedBudgetConfig{Telemetry: reg})
+	if b.GlobalShipFloor() != 0.8 {
+		t.Fatalf("default floor = %v, want 0.8", b.GlobalShipFloor())
+	}
+	if err := b.Register("s", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Register("s", 1); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if b.Grant("ghost") {
+		t.Fatal("unregistered sessions never get grants")
+	}
+	b.RecordShipped("ghost", 1) // must not panic or register
+	b.Unregister("s")
+	b.Unregister("s") // idempotent
+	if b.Grant("s") {
+		t.Fatal("grants after Unregister must be denied")
+	}
+	if got := len(b.Report().Sessions); got != 0 {
+		t.Fatalf("%d sessions reported after unregister, want 0", got)
+	}
+	// NaN-free report on the default-weight path.
+	if err := b.Register("w", 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range b.Report().Sessions {
+		if math.IsNaN(s.Alloc) {
+			t.Fatalf("alloc NaN for %+v", s)
+		}
+	}
+}

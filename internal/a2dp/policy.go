@@ -74,8 +74,20 @@ type PolicyConfig struct {
 	// single cleanest channel).
 	DegradedBestChannels int
 	// ShipFloor is the minimum fraction of media packets that must ship
-	// even while Shedding (default 0.8, the chaos-suite bound).
+	// even while Shedding (default 0.8, the chaos-suite bound). Ignored
+	// while Coordinator is set: the fleet-wide budget owns the floor.
 	ShipFloor float64
+	// Coordinator, when non-nil, couples this governor into a fleet-wide
+	// shedding budget (see ShedBudget and DESIGN.md §14): every
+	// prospective Shedding drop is requested from the budget — which
+	// applies the global ship floor and weighted max-min fairness across
+	// sessions — instead of the isolated per-stream ShipFloor check, and
+	// the shipped/dropped accounting is forwarded so the budget sees the
+	// fleet's true traffic. nil (the default) keeps the lone-stream
+	// semantics unchanged. SessionID names this stream in the budget and
+	// must match its Register call.
+	Coordinator *ShedBudget
+	SessionID   string
 	// Telemetry, when non-nil, receives the health gauge, transition
 	// counters, shipped/dropped counters and time-in-state counters.
 	Telemetry *obs.Registry
@@ -276,7 +288,7 @@ func (g *Governor) Observe(sig Signal) Decision {
 			g.transitionLocked(g.state - 1)
 		}
 	}
-	return g.decisionLocked()
+	return g.decisionLocked(true)
 }
 
 // transitionLocked moves to a new state and resets the hysteresis
@@ -289,8 +301,11 @@ func (g *Governor) transitionLocked(to Health) {
 	g.clean = 0
 }
 
-// decisionLocked maps the current state to knob targets.
-func (g *Governor) decisionLocked() Decision {
+// decisionLocked maps the current state to knob targets. requestDrop
+// distinguishes a live Observe (a coordinated governor may consume one
+// unit of the fleet's drop budget) from a read-only Report, which must
+// never mutate budget demand.
+func (g *Governor) decisionLocked(requestDrop bool) Decision {
 	d := Decision{State: g.state, Bitpool: g.baseBitpool, BestChannels: g.baseChannels}
 	steps := 0
 	switch g.state {
@@ -311,29 +326,44 @@ func (g *Governor) decisionLocked() Decision {
 			d.BestChannels = g.cfg.DegradedBestChannels
 		}
 	}
-	if g.state == Shedding {
-		// Shed only while the shipped fraction stays above the floor,
-		// counting the packet about to be dropped.
-		total := g.shipped + g.dropped + 1
-		d.Drop = float64(g.dropped+1) <= float64(total)*(1-g.cfg.ShipFloor)
+	if g.state == Shedding && requestDrop {
+		if g.cfg.Coordinator != nil {
+			// Coordinated: the fleet-wide budget decides, applying the
+			// global floor and weighted max-min fairness.
+			d.Drop = g.cfg.Coordinator.Grant(g.cfg.SessionID)
+		} else {
+			// Lone stream: shed only while the shipped fraction stays
+			// above the floor, counting the packet about to be dropped.
+			total := g.shipped + g.dropped + 1
+			d.Drop = float64(g.dropped+1) <= float64(total)*(1-g.cfg.ShipFloor)
+		}
 	}
 	return d
 }
 
-// RecordShipped counts media packets delivered to the caller.
+// RecordShipped counts media packets delivered to the caller,
+// forwarding to the coordinated budget when one is attached.
 func (g *Governor) RecordShipped(n int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.shipped += uint64(n)
 	g.met.ship(int64(n))
+	if g.cfg.Coordinator != nil {
+		g.cfg.Coordinator.RecordShipped(g.cfg.SessionID, n)
+	}
 }
 
-// RecordDropped counts media packets shed or lost.
+// RecordDropped counts media packets shed or lost — both consume the
+// coordinated budget when one is attached (a fault loss eats into the
+// session's fair share exactly like a granted shed).
 func (g *Governor) RecordDropped(n int) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.dropped += uint64(n)
 	g.met.drop(int64(n))
+	if g.cfg.Coordinator != nil {
+		g.cfg.Coordinator.RecordDropped(g.cfg.SessionID, n)
+	}
 }
 
 // State returns the current health state.
@@ -361,7 +391,7 @@ type Report struct {
 func (g *Governor) Report() Report {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	d := g.decisionLocked()
+	d := g.decisionLocked(false)
 	return Report{
 		State:            g.state,
 		Shipped:          g.shipped,

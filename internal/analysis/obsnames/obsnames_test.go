@@ -17,6 +17,6 @@ import (
 // bluefi_flight_* families go through the full rule set.
 func TestObsnames(t *testing.T) {
 	analysistest.Run(t, analysistest.TestData(t), obsnames.Analyzer,
-		"bluefi/internal/beacon", "bluefi/internal/obs",
+		"bluefi/internal/beacon", "bluefi/internal/a2dp", "bluefi/internal/obs",
 		"bluefi/internal/obs/slo", "bluefi/internal/obs/flight")
 }

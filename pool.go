@@ -128,19 +128,30 @@ func retryable(err error) bool {
 	return errors.Is(err, ErrJobTimeout) || errors.As(err, &pe) || faults.IsInjected(err)
 }
 
+// noDeadline marks a job submitted without a slot deadline: under EDF
+// ordering it sorts after every deadline-bearing job, so batch work
+// yields to real-time audio segments.
+const noDeadline = ^uint64(0)
+
 // poolJob is one queued unit of work. fn must confine its writes to
 // state owned by the job (the await side reads results only after done),
 // so an abandoned job — one whose waiter timed out — can still finish
 // harmlessly on its worker.
 type poolJob struct {
-	fn   func(*Synthesizer) error
-	done chan struct{}
-	err  error // written once, before done is closed
+	fn       func(*Synthesizer) error
+	done     chan struct{}
+	err      error  // written once, before done is closed
+	deadline uint64 // slot-clock deadline; noDeadline for batch work
+	seq      uint64 // admission order, assigned by push; the EDF tie-break
 }
 
-// jobQueue is the pool's bounded FIFO with an overload policy. It
+// jobQueue is the pool's bounded job buffer with an overload policy. It
 // replaces the unbuffered jobs channel so that load shedding, typed
-// closed-pool errors and graceful drain are expressible.
+// closed-pool errors and graceful drain are expressible. Order is FIFO,
+// or earliest-deadline-first when Options.EDF is set (DESIGN.md §14) —
+// then ties break on admission sequence, DropOldest evicts the
+// latest-deadline job instead of the head, and deadline-less jobs sort
+// last.
 type jobQueue struct {
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -148,15 +159,26 @@ type jobQueue struct {
 	items  []*poolJob // guarded by mu
 	max    int
 	policy OverloadPolicy
-	closed bool // guarded by mu
+	edf    bool
+	seq    uint64 // guarded by mu; admission counter
+	closed bool   // guarded by mu
 
 	met *poolMetrics
 }
 
-func newJobQueue(max int, policy OverloadPolicy, met *poolMetrics) *jobQueue {
-	q := &jobQueue{max: max, policy: policy, met: met}
+func newJobQueue(max int, policy OverloadPolicy, edf bool, met *poolMetrics) *jobQueue {
+	q := &jobQueue{max: max, policy: policy, edf: edf, met: met}
 	q.cond = sync.NewCond(&q.mu)
 	return q
+}
+
+// edfWorse orders jobs for eviction: the job with the later deadline
+// (then later admission) is the least urgent.
+func edfWorse(a, b *poolJob) bool {
+	if a.deadline != b.deadline {
+		return a.deadline > b.deadline
+	}
+	return a.seq > b.seq
 }
 
 // push enqueues a job, applying the overload policy when the queue is
@@ -178,8 +200,19 @@ func (q *jobQueue) push(j *poolJob) error {
 			q.met.rejected()
 			return ErrPoolOverloaded
 		case DropOldest:
-			old := q.items[0]
-			q.items = q.items[1:]
+			// FIFO evicts the head; EDF evicts the least-urgent job —
+			// shedding the frame with the most slack to spare, never the
+			// one closest to its slot.
+			victim := 0
+			if q.edf {
+				for i := 1; i < len(q.items); i++ {
+					if edfWorse(q.items[i], q.items[victim]) {
+						victim = i
+					}
+				}
+			}
+			old := q.items[victim]
+			q.items = append(q.items[:victim], q.items[victim+1:]...)
 			q.met.shed()
 			old.err = ErrJobShed
 			close(old.done)
@@ -187,6 +220,8 @@ func (q *jobQueue) push(j *poolJob) error {
 			q.cond.Wait()
 		}
 	}
+	j.seq = q.seq
+	q.seq++
 	q.items = append(q.items, j)
 	q.met.enqueued()
 	q.cond.Broadcast()
@@ -204,8 +239,19 @@ func (q *jobQueue) pop() *poolJob {
 	if len(q.items) == 0 {
 		return nil
 	}
-	j := q.items[0]
-	q.items = q.items[1:]
+	// FIFO takes the head; EDF scans for the earliest (deadline, seq).
+	// The queue is small and bounded, so the linear scan beats heap
+	// bookkeeping and keeps eviction-by-index trivial.
+	pick := 0
+	if q.edf {
+		for i := 1; i < len(q.items); i++ {
+			if edfWorse(q.items[pick], q.items[i]) {
+				pick = i
+			}
+		}
+	}
+	j := q.items[pick]
+	q.items = append(q.items[:pick], q.items[pick+1:]...)
 	q.met.dequeued()
 	q.cond.Broadcast()
 	return j
@@ -374,7 +420,7 @@ func NewPool(opts Options, n int) (*Pool, error) {
 		depth = 4 * n
 	}
 	p := &Pool{
-		q:      newJobQueue(depth, opts.Overload, met),
+		q:      newJobQueue(depth, opts.Overload, opts.EDF, met),
 		opts:   opts,
 		met:    met,
 		obsCtx: obs.WithRegistry(context.Background(), opts.Telemetry),
@@ -441,12 +487,12 @@ func (p *Pool) execute(s *Synthesizer, j *poolJob) {
 	close(j.done)
 }
 
-// tryOne submits fn once and waits for it, honoring JobTimeout. On
-// timeout the attempt is abandoned: its worker still finishes it in the
-// background, but the result is discarded (fn's contract: write only
-// job-owned state).
-func (p *Pool) tryOne(fn func(*Synthesizer) error) error {
-	j := &poolJob{fn: fn, done: make(chan struct{})}
+// tryOne submits fn once with a slot deadline and waits for it,
+// honoring JobTimeout. On timeout the attempt is abandoned: its worker
+// still finishes it in the background, but the result is discarded
+// (fn's contract: write only job-owned state).
+func (p *Pool) tryOne(deadline uint64, fn func(*Synthesizer) error) error {
+	j := &poolJob{fn: fn, done: make(chan struct{}), deadline: deadline}
 	if err := p.q.push(j); err != nil {
 		return err
 	}
@@ -466,9 +512,17 @@ func (p *Pool) tryOne(fn func(*Synthesizer) error) error {
 }
 
 // poolDo runs fn on a pool worker under the timeout and retry policy
-// and returns its value. Each attempt writes into an attempt-local cell,
-// so a timed-out attempt finishing late can never race the winner.
+// and returns its value; the job carries no slot deadline, so under EDF
+// ordering it yields to deadline-stamped work.
 func poolDo[T any](p *Pool, fn func(*Synthesizer) (T, error)) (T, error) {
+	return poolDoDeadline(p, noDeadline, fn)
+}
+
+// poolDoDeadline is poolDo with a slot-clock deadline: under
+// Options.EDF the queue services the earliest deadline first. Each
+// attempt writes into an attempt-local cell, so a timed-out attempt
+// finishing late can never race the winner.
+func poolDoDeadline[T any](p *Pool, deadline uint64, fn func(*Synthesizer) (T, error)) (T, error) {
 	var out T
 	max := p.opts.Retry.MaxAttempts
 	if max < 1 {
@@ -477,7 +531,7 @@ func poolDo[T any](p *Pool, fn func(*Synthesizer) (T, error)) (T, error) {
 	var err error
 	for attempt := 1; ; attempt++ {
 		cell := new(T)
-		err = p.tryOne(func(s *Synthesizer) error {
+		err = p.tryOne(deadline, func(s *Synthesizer) error {
 			v, ferr := fn(s)
 			if ferr != nil {
 				return ferr
@@ -501,8 +555,25 @@ func poolDo[T any](p *Pool, fn func(*Synthesizer) (T, error)) (T, error) {
 func (p *Pool) Workers() int { return len(p.syns) }
 
 // QueueDepth returns the number of jobs enqueued but not yet picked up
-// by a worker — the fleet's per-shard stats surface it as backlog.
+// by a worker — the fleet's per-shard stats surface it as backlog, and
+// the session admission controller folds it into its headroom
+// projection.
 func (p *Pool) QueueDepth() int { return p.q.depth() }
+
+// JobLatency returns the mean per-job execution latency in seconds and
+// the job count it averages over — (0, 0) without telemetry or before
+// the first job completes. The session admission controller converts it
+// to slots as its per-segment service-time estimate.
+func (p *Pool) JobLatency() (meanSeconds float64, jobs int64) {
+	if p.met == nil {
+		return 0, 0
+	}
+	n := p.met.jobSecs.Count()
+	if n == 0 {
+		return 0, 0
+	}
+	return p.met.jobSecs.Sum() / float64(n), n
+}
 
 // InjectedFaults returns how many faults the pool's injector has fired
 // (0 without an armed Options.Faults plan) — chaos reports use it to
